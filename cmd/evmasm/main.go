@@ -1,0 +1,72 @@
+// Command evmasm assembles EVM control programs into attested capsules
+// and disassembles capsules back to text.
+//
+// Usage:
+//
+//	evmasm -task lts-level -o lts.cap program.asm   # assemble
+//	evmasm -d lts.cap                               # disassemble
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"evm/internal/vm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		taskID  = flag.String("task", "task", "task ID embedded in the capsule")
+		version = flag.Uint("version", 1, "capsule version")
+		out     = flag.String("o", "", "output capsule file (assemble mode)")
+		disasm  = flag.Bool("d", false, "disassemble a capsule instead of assembling")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: evmasm [-d] [-task id] [-o out.cap] <file>")
+	}
+	path := flag.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+
+	if *disasm {
+		c, err := vm.Decode(data)
+		if err != nil {
+			return fmt.Errorf("decode %s: %w", path, err)
+		}
+		fmt.Printf("; capsule task=%q version=%d code=%d bytes (attestation ok)\n",
+			c.TaskID, c.Version, len(c.Code))
+		fmt.Print(vm.Disassemble(c.Code))
+		return nil
+	}
+
+	code, err := vm.Assemble(string(data))
+	if err != nil {
+		return err
+	}
+	c := vm.Capsule{TaskID: *taskID, Version: uint8(*version), Code: code}
+	enc, err := c.Encode()
+	if err != nil {
+		return err
+	}
+	dest := *out
+	if dest == "" {
+		dest = path + ".cap"
+	}
+	if err := os.WriteFile(dest, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("assembled %d bytes of code into %s (%d bytes with header+checksum)\n",
+		len(code), dest, len(enc))
+	return nil
+}

@@ -1,0 +1,315 @@
+// Package evm is the public API of the Embedded Virtual Machine library,
+// a reproduction of Mangharam & Pajic, "Embedded Virtual Machines for
+// Robust Wireless Control Systems" (ICDCS Workshops 2009).
+//
+// An EVM groups wireless sensor, actuator and controller nodes into a
+// Virtual Component: a logical control entity whose tasks are not bound
+// to physical nodes. The runtime replicates control algorithms across
+// candidate nodes, passively detects primary faults through health-
+// assessment transfers, arbitrates fail-over through the component head,
+// migrates task code (attested capsules) and state between nodes, and
+// re-optimizes the task assignment at runtime with a BQP solver — all
+// over an RT-Link-style TDMA network simulated on virtual time.
+//
+// Quick start:
+//
+//	cell, err := evm.NewCell(evm.CellConfig{Seed: 1}, []evm.NodeID{1, 2, 3, 4})
+//	// configure a Virtual Component and deploy it:
+//	err = cell.Deploy(vcConfig)
+//	cell.Run(10 * time.Second)
+//
+// For the paper's hardware-in-loop gas-plant testbed, see NewGasPlant.
+package evm
+
+import (
+	"fmt"
+	"time"
+
+	"evm/internal/core"
+	"evm/internal/radio"
+	"evm/internal/rtlink"
+	"evm/internal/sim"
+	"evm/internal/vm"
+	"evm/internal/wire"
+)
+
+// Re-exported building blocks. The facade deliberately aliases the
+// internal types so downstream code uses one import path.
+type (
+	// NodeID identifies a node on the wireless medium.
+	NodeID = radio.NodeID
+	// VCConfig describes a Virtual Component.
+	VCConfig = core.VCConfig
+	// TaskSpec describes one control task.
+	TaskSpec = core.TaskSpec
+	// TaskLogic is the executable body of a control task.
+	TaskLogic = core.TaskLogic
+	// PIDParams configures a PID-backed task logic.
+	PIDParams = core.PIDParams
+	// PIDLogic is a filtered-PID control law.
+	PIDLogic = core.PIDLogic
+	// VMLogic is a byte-code control law.
+	VMLogic = core.VMLogic
+	// Node is the per-node EVM runtime.
+	Node = core.Node
+	// Head is the Virtual Component arbiter.
+	Head = core.Head
+	// Role is a controller's role for a task.
+	Role = wire.Role
+	// Transfer is an object-transfer relation.
+	Transfer = core.Transfer
+	// QoSReport summarizes component service level.
+	QoSReport = core.QoSReport
+	// SensorReading is one sensor port sample.
+	SensorReading = wire.SensorReading
+	// Capsule is an attested code capsule for over-the-air deployment.
+	Capsule = vm.Capsule
+)
+
+// Role values.
+const (
+	RoleDormant   = wire.RoleDormant
+	RoleBackup    = wire.RoleBackup
+	RoleActive    = wire.RoleActive
+	RoleIndicator = wire.RoleIndicator
+)
+
+// Broadcast addresses every node.
+const Broadcast = radio.Broadcast
+
+// NewPIDLogic builds the paper's filtered-PID control law.
+func NewPIDLogic(p PIDParams) (*PIDLogic, error) { return core.NewPIDLogic(p) }
+
+// AssembleCapsule assembles EVM byte-code source into an attested capsule
+// for the named task (see internal/vm for the instruction set; IN 0 reads
+// the task's sensor, OUT 0 writes its actuator, both Q16.16).
+func AssembleCapsule(taskID string, version uint8, src string) (Capsule, error) {
+	code, err := vm.Assemble(src)
+	if err != nil {
+		return Capsule{}, err
+	}
+	return Capsule{TaskID: taskID, Version: version, Code: code}, nil
+}
+
+// NewVMLogic instantiates a capsule as task logic.
+func NewVMLogic(c Capsule) (*VMLogic, error) { return core.NewVMLogic(c, 0) }
+
+// EvaluateQoS reports component coverage (see the paper's QoS
+// degradation claim).
+func EvaluateQoS(cfg VCConfig, nodes []*Node) QoSReport {
+	return core.EvaluateQoS(cfg, nodes)
+}
+
+// CellConfig parameterizes a TDMA cell.
+type CellConfig struct {
+	// Seed drives every random stream; equal seeds reproduce runs
+	// bit-for-bit.
+	Seed uint64
+	// Radio overrides the medium model (zero value = defaults).
+	Radio radio.Config
+	// Link overrides the TDMA framing (zero value = defaults).
+	Link rtlink.Config
+	// SlotsPerNode is the TX slots each node owns per frame (default 2:
+	// controllers send an actuation and a health record every cycle).
+	SlotsPerNode int
+	// PerfectChannel disables stochastic loss (useful for unit tests
+	// and deterministic examples).
+	PerfectChannel bool
+}
+
+func (c CellConfig) withDefaults() CellConfig {
+	if c.Radio.BitrateBPS == 0 {
+		c.Radio = radio.DefaultConfig()
+	}
+	if c.Link.SlotsPerFrame == 0 {
+		c.Link = rtlink.DefaultConfig()
+	}
+	if c.SlotsPerNode == 0 {
+		c.SlotsPerNode = 2
+	}
+	if c.PerfectChannel {
+		c.Radio.RefPER = 0
+		c.Radio.Burst = radio.GilbertElliott{}
+	}
+	return c
+}
+
+// Cell is one synchronized TDMA cell: the engine, medium, network and the
+// EVM runtimes deployed on it.
+type Cell struct {
+	cfg   CellConfig
+	eng   *sim.Engine
+	rng   *sim.RNG
+	med   *radio.Medium
+	net   *rtlink.Network
+	ids   []NodeID
+	nodes map[NodeID]*Node
+}
+
+// NewCell builds a cell with the given member IDs placed on a line with
+// 3 m spacing (well inside radio range) and a full-mesh TDMA schedule.
+func NewCell(cfg CellConfig, ids []NodeID) (*Cell, error) {
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("evm: cell needs at least one node")
+	}
+	cfg = cfg.withDefaults()
+	eng := sim.New()
+	rng := sim.NewRNG(cfg.Seed)
+	med := radio.NewMedium(eng, rng.Fork(), cfg.Radio)
+	for i, id := range ids {
+		if _, err := med.Attach(id, radio.Position{X: float64(i) * 3}, radio.NewBattery(2600), radio.DefaultEnergyModel()); err != nil {
+			return nil, err
+		}
+	}
+	sched, err := rtlink.BuildMeshScheduleK(ids, cfg.Link, cfg.SlotsPerNode)
+	if err != nil {
+		return nil, err
+	}
+	net, err := rtlink.NewNetwork(med, cfg.Link, sched)
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range ids {
+		if _, err := net.Join(id); err != nil {
+			return nil, err
+		}
+	}
+	return &Cell{
+		cfg:   cfg,
+		eng:   eng,
+		rng:   rng,
+		med:   med,
+		net:   net,
+		ids:   append([]NodeID(nil), ids...),
+		nodes: make(map[NodeID]*Node),
+	}, nil
+}
+
+// Engine returns the virtual-time engine.
+func (c *Cell) Engine() *sim.Engine { return c.eng }
+
+// RNG returns the cell's seeded random stream.
+func (c *Cell) RNG() *sim.RNG { return c.rng }
+
+// Network returns the RT-Link network.
+func (c *Cell) Network() *rtlink.Network { return c.net }
+
+// Medium returns the radio medium (for loss injection in experiments).
+func (c *Cell) Medium() *radio.Medium { return c.med }
+
+// Node returns the EVM runtime deployed on id (nil before Deploy or for
+// the gateway).
+func (c *Cell) Node(id NodeID) *Node { return c.nodes[id] }
+
+// Nodes returns all deployed EVM runtimes.
+func (c *Cell) Nodes() []*Node {
+	out := make([]*Node, 0, len(c.nodes))
+	for _, id := range c.ids {
+		if n, ok := c.nodes[id]; ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Deploy instantiates the EVM runtime on every member except the
+// configured gateway, and starts the TDMA network.
+func (c *Cell) Deploy(vc VCConfig) error {
+	if err := vc.Validate(); err != nil {
+		return err
+	}
+	for _, id := range c.ids {
+		if id == vc.Gateway {
+			continue
+		}
+		link := c.net.Link(id)
+		if link == nil {
+			return fmt.Errorf("evm: node %v not joined", id)
+		}
+		node, err := core.NewNode(c.net, link, vc)
+		if err != nil {
+			return err
+		}
+		node.Start()
+		c.nodes[id] = node
+	}
+	c.net.Start()
+	return nil
+}
+
+// AddNodeRuntime admits a new node at runtime: attaches a radio, extends
+// the TDMA schedule with slots for it, joins the link layer and deploys
+// the EVM runtime (on-line capacity expansion, §4.2 objective 2).
+func (c *Cell) AddNodeRuntime(id NodeID, vc VCConfig) (*Node, error) {
+	if _, exists := c.nodes[id]; exists {
+		return nil, fmt.Errorf("evm: node %v already deployed", id)
+	}
+	pos := radio.Position{X: float64(len(c.ids)) * 3}
+	if _, err := c.med.Attach(id, pos, radio.NewBattery(2600), radio.DefaultEnergyModel()); err != nil {
+		return nil, err
+	}
+	c.ids = append(c.ids, id)
+	sched, err := rtlink.BuildMeshScheduleK(c.ids, c.cfg.Link, c.cfg.SlotsPerNode)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.net.SetSchedule(sched); err != nil {
+		return nil, err
+	}
+	link, err := c.net.Join(id)
+	if err != nil {
+		return nil, err
+	}
+	node, err := core.NewNode(c.net, link, vc)
+	if err != nil {
+		return nil, err
+	}
+	node.Start()
+	c.nodes[id] = node
+	// Announce to the head.
+	payload, err := wire.Join{Node: uint16(id), CPUCapacity: 1, Battery: 1}.Encode()
+	if err != nil {
+		return nil, err
+	}
+	if err := link.Send(rtlink.Message{Dst: vc.Head, Kind: wire.KindJoin, Payload: payload}); err != nil {
+		return nil, err
+	}
+	return node, nil
+}
+
+// StartSensorFeed broadcasts synthetic sensor snapshots from src every
+// period — a stand-in for a plant gateway in examples and experiments.
+// Stop the returned ticker to end the feed.
+func (c *Cell) StartSensorFeed(src NodeID, period time.Duration, sample func() []SensorReading) (*sim.Ticker, error) {
+	link := c.net.Link(src)
+	if link == nil {
+		return nil, fmt.Errorf("evm: node %v not joined", src)
+	}
+	if period <= 0 {
+		return nil, fmt.Errorf("evm: feed period %v", period)
+	}
+	tk := c.eng.Every(period, func() {
+		payload, err := wire.EncodeSensors(sample())
+		if err != nil {
+			return
+		}
+		_ = link.Send(rtlink.Message{Dst: radio.Broadcast, Kind: wire.KindSensor, Payload: payload})
+	})
+	return tk, nil
+}
+
+// Run advances virtual time by d.
+func (c *Cell) Run(d time.Duration) {
+	_ = c.eng.RunUntil(c.eng.Now() + d)
+}
+
+// Now returns the current virtual time.
+func (c *Cell) Now() time.Duration { return c.eng.Now() }
+
+// Stop halts the network and all node runtimes.
+func (c *Cell) Stop() {
+	c.net.Stop()
+	for _, n := range c.nodes {
+		n.Stop()
+	}
+}

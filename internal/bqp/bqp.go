@@ -1,0 +1,291 @@
+// Package bqp solves the binary quadratic program the EVM uses for
+// runtime optimization of task-to-node assignment (paper §3.1.1 op 7:
+// "We use Binary Quadratic Programming for fixed-point optimization for
+// functional and para-functional requirements across controller nodes").
+//
+// The model: binary variables x[t][n] assign task t to node n. The
+// objective combines a linear placement cost (proximity to sensors,
+// calibration, energy) with pairwise costs between tasks placed on the
+// same node (e.g. a large penalty keeps a primary and its backup on
+// different nodes). Node capacity constraints bound the total utilization
+// placed on each node.
+//
+// Three solvers are provided: exhaustive enumeration (optimal, small
+// instances), a greedy constructor (the baseline the ablation compares
+// against) and simulated annealing (near-optimal for larger instances).
+package bqp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"evm/internal/sim"
+)
+
+// ErrInfeasible is returned when no feasible assignment exists (or none
+// was found by a heuristic solver).
+var ErrInfeasible = errors.New("bqp: no feasible assignment found")
+
+// Problem is a task-to-node assignment instance.
+type Problem struct {
+	// Cost[t][n] is the linear cost of placing task t on node n. Use
+	// math.Inf(1) to forbid a placement (e.g. node lacks the sensor).
+	Cost [][]float64
+	// Pair[t][u] is added to the objective when tasks t and u share a
+	// node (symmetric; only t<u is read).
+	Pair [][]float64
+	// Util[t] is the CPU utilization demand of task t.
+	Util []float64
+	// Cap[n] is the CPU capacity of node n.
+	Cap []float64
+}
+
+// Tasks returns the number of tasks.
+func (p *Problem) Tasks() int { return len(p.Cost) }
+
+// Nodes returns the number of nodes.
+func (p *Problem) Nodes() int {
+	if len(p.Cost) == 0 {
+		return 0
+	}
+	return len(p.Cost[0])
+}
+
+// Validate checks structural consistency.
+func (p *Problem) Validate() error {
+	t, n := p.Tasks(), p.Nodes()
+	if t == 0 || n == 0 {
+		return fmt.Errorf("bqp: empty problem (%d tasks, %d nodes)", t, n)
+	}
+	for i, row := range p.Cost {
+		if len(row) != n {
+			return fmt.Errorf("bqp: cost row %d has %d entries, want %d", i, len(row), n)
+		}
+	}
+	if p.Pair != nil {
+		if len(p.Pair) != t {
+			return fmt.Errorf("bqp: pair matrix has %d rows, want %d", len(p.Pair), t)
+		}
+		for i, row := range p.Pair {
+			if len(row) != t {
+				return fmt.Errorf("bqp: pair row %d has %d entries, want %d", i, len(row), t)
+			}
+		}
+	}
+	if len(p.Util) != t {
+		return fmt.Errorf("bqp: util has %d entries, want %d", len(p.Util), t)
+	}
+	if len(p.Cap) != n {
+		return fmt.Errorf("bqp: cap has %d entries, want %d", len(p.Cap), n)
+	}
+	return nil
+}
+
+// Evaluate returns the objective value of an assignment (assign[t] =
+// node) and whether it is feasible.
+func (p *Problem) Evaluate(assign []int) (float64, bool) {
+	if len(assign) != p.Tasks() {
+		return math.Inf(1), false
+	}
+	var cost float64
+	load := make([]float64, p.Nodes())
+	for t, n := range assign {
+		if n < 0 || n >= p.Nodes() {
+			return math.Inf(1), false
+		}
+		c := p.Cost[t][n]
+		if math.IsInf(c, 1) {
+			return math.Inf(1), false
+		}
+		cost += c
+		load[n] += p.Util[t]
+	}
+	for n := range load {
+		if load[n] > p.Cap[n]+1e-9 {
+			return math.Inf(1), false
+		}
+	}
+	if p.Pair != nil {
+		for t := 0; t < p.Tasks(); t++ {
+			for u := t + 1; u < p.Tasks(); u++ {
+				if assign[t] == assign[u] {
+					cost += p.Pair[t][u]
+				}
+			}
+		}
+	}
+	return cost, true
+}
+
+// Solution is the result of a solver run.
+type Solution struct {
+	Assign []int
+	Cost   float64
+	// Evaluated counts candidate assignments examined (solver effort).
+	Evaluated int
+}
+
+// SolveExhaustive enumerates every assignment; optimal but O(nodes^tasks).
+// It refuses instances with more than ~20M candidates.
+func SolveExhaustive(p *Problem) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	t, n := p.Tasks(), p.Nodes()
+	total := math.Pow(float64(n), float64(t))
+	if total > 20e6 {
+		return Solution{}, fmt.Errorf("bqp: %d^%d candidates too many for exhaustive search", n, t)
+	}
+	assign := make([]int, t)
+	best := Solution{Cost: math.Inf(1)}
+	for {
+		best.Evaluated++
+		if c, ok := p.Evaluate(assign); ok && c < best.Cost {
+			best.Cost = c
+			best.Assign = append([]int(nil), assign...)
+		}
+		// Odometer increment.
+		i := 0
+		for ; i < t; i++ {
+			assign[i]++
+			if assign[i] < n {
+				break
+			}
+			assign[i] = 0
+		}
+		if i == t {
+			break
+		}
+	}
+	if best.Assign == nil {
+		return best, ErrInfeasible
+	}
+	return best, nil
+}
+
+// SolveGreedy places tasks in order of decreasing utilization on the
+// cheapest feasible node. Fast; the ablation baseline.
+func SolveGreedy(p *Problem) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	t, n := p.Tasks(), p.Nodes()
+	order := make([]int, t)
+	for i := range order {
+		order[i] = i
+	}
+	// Sort by decreasing utilization (stable insertion for determinism).
+	for i := 1; i < t; i++ {
+		for j := i; j > 0 && p.Util[order[j]] > p.Util[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	assign := make([]int, t)
+	for i := range assign {
+		assign[i] = -1
+	}
+	load := make([]float64, n)
+	sol := Solution{}
+	for _, task := range order {
+		bestNode, bestCost := -1, math.Inf(1)
+		for node := 0; node < n; node++ {
+			sol.Evaluated++
+			if load[node]+p.Util[task] > p.Cap[node]+1e-9 {
+				continue
+			}
+			c := p.Cost[task][node]
+			if math.IsInf(c, 1) {
+				continue
+			}
+			// Include pairwise cost against already-placed tasks.
+			for other, on := range assign {
+				if on == node && p.Pair != nil {
+					lo, hi := task, other
+					if lo > hi {
+						lo, hi = hi, lo
+					}
+					c += p.Pair[lo][hi]
+				}
+			}
+			if c < bestCost {
+				bestCost, bestNode = c, node
+			}
+		}
+		if bestNode < 0 {
+			return sol, ErrInfeasible
+		}
+		assign[task] = bestNode
+		load[bestNode] += p.Util[task]
+	}
+	cost, ok := p.Evaluate(assign)
+	if !ok {
+		return sol, ErrInfeasible
+	}
+	sol.Assign = assign
+	sol.Cost = cost
+	return sol, nil
+}
+
+// SolveAnneal runs simulated annealing from the greedy solution (or a
+// random feasible start). Deterministic given the RNG.
+func SolveAnneal(p *Problem, rng *sim.RNG, iters int) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	if iters <= 0 {
+		iters = 10_000
+	}
+	cur, err := SolveGreedy(p)
+	if err != nil {
+		cur, err = randomFeasible(p, rng, 10_000)
+		if err != nil {
+			return Solution{}, err
+		}
+	}
+	best := Solution{Assign: append([]int(nil), cur.Assign...), Cost: cur.Cost}
+	t, n := p.Tasks(), p.Nodes()
+	curAssign := append([]int(nil), cur.Assign...)
+	curCost := cur.Cost
+	temp0 := math.Max(1.0, curCost*0.1)
+	evaluated := cur.Evaluated
+	for i := 0; i < iters; i++ {
+		temp := temp0 * (1 - float64(i)/float64(iters))
+		task := rng.Intn(t)
+		node := rng.Intn(n)
+		if node == curAssign[task] {
+			continue
+		}
+		old := curAssign[task]
+		curAssign[task] = node
+		c, ok := p.Evaluate(curAssign)
+		evaluated++
+		accept := ok && (c <= curCost || rng.Float64() < math.Exp((curCost-c)/math.Max(temp, 1e-9)))
+		if accept {
+			curCost = c
+			if c < best.Cost {
+				best.Cost = c
+				copy(best.Assign, curAssign)
+			}
+		} else {
+			curAssign[task] = old
+		}
+	}
+	best.Evaluated = evaluated
+	return best, nil
+}
+
+// randomFeasible samples random assignments until one is feasible.
+func randomFeasible(p *Problem, rng *sim.RNG, tries int) (Solution, error) {
+	t, n := p.Tasks(), p.Nodes()
+	assign := make([]int, t)
+	for k := 0; k < tries; k++ {
+		for i := range assign {
+			assign[i] = rng.Intn(n)
+		}
+		if c, ok := p.Evaluate(assign); ok {
+			return Solution{Assign: append([]int(nil), assign...), Cost: c, Evaluated: k + 1}, nil
+		}
+	}
+	return Solution{}, ErrInfeasible
+}

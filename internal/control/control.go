@@ -1,0 +1,173 @@
+// Package control implements the controller primitives from the paper's
+// case study (§4.2): a PID regulator with output limiting and integral
+// anti-windup, preceded by second-order (biquad) low-pass filtering of the
+// measured variable — "the liquid's percentage level in LTS is used as an
+// input to the controllers, which perform second order filtering with a
+// PID regulator".
+package control
+
+import (
+	"fmt"
+	"math"
+)
+
+// PID is a discrete PID regulator with clamped output and conditional
+// anti-windup (integration pauses while the output saturates).
+type PID struct {
+	Kp, Ki, Kd float64
+	OutMin     float64
+	OutMax     float64
+	// Reverse flips the control action: the output grows when the
+	// measurement exceeds the setpoint (a level controller draining a
+	// vessel through a valve is reverse-acting).
+	Reverse bool
+
+	integ   float64
+	prevErr float64
+	primed  bool
+}
+
+// NewPID returns a PID with the given gains and output range.
+func NewPID(kp, ki, kd, outMin, outMax float64) (*PID, error) {
+	if outMin >= outMax {
+		return nil, fmt.Errorf("control: output range [%f,%f]", outMin, outMax)
+	}
+	return &PID{Kp: kp, Ki: ki, Kd: kd, OutMin: outMin, OutMax: outMax}, nil
+}
+
+// Update advances the regulator by dt seconds and returns the new output.
+func (p *PID) Update(setpoint, measured, dt float64) float64 {
+	if dt <= 0 {
+		e := setpoint - measured
+		if p.Reverse {
+			e = -e
+		}
+		return p.clamp(p.Kp*e + p.integ)
+	}
+	err := setpoint - measured
+	if p.Reverse {
+		err = -err
+	}
+	deriv := 0.0
+	if p.primed {
+		deriv = (err - p.prevErr) / dt
+	}
+	p.prevErr = err
+	p.primed = true
+
+	raw := p.Kp*err + p.integ + p.Ki*err*dt + p.Kd*deriv
+	out := p.clamp(raw)
+	// Anti-windup: only integrate when not pushing further into the rail.
+	if out == raw || (out == p.OutMax && err < 0) || (out == p.OutMin && err > 0) {
+		p.integ += p.Ki * err * dt
+	}
+	return out
+}
+
+func (p *PID) clamp(v float64) float64 {
+	if v > p.OutMax {
+		return p.OutMax
+	}
+	if v < p.OutMin {
+		return p.OutMin
+	}
+	return v
+}
+
+// Reset clears the regulator state (integral and derivative history).
+func (p *PID) Reset() {
+	p.integ = 0
+	p.prevErr = 0
+	p.primed = false
+}
+
+// State returns the internal state for migration.
+func (p *PID) State() (integ, prevErr float64, primed bool) {
+	return p.integ, p.prevErr, p.primed
+}
+
+// SetState restores state captured by State (used when a backup takes
+// over a control task mid-flight).
+func (p *PID) SetState(integ, prevErr float64, primed bool) {
+	p.integ = integ
+	p.prevErr = prevErr
+	p.primed = primed
+}
+
+// Biquad is a direct-form-I second-order IIR filter.
+type Biquad struct {
+	b0, b1, b2 float64
+	a1, a2     float64
+	x1, x2     float64
+	y1, y2     float64
+}
+
+// NewLowPass designs a second-order Butterworth-style low-pass biquad
+// with the given cutoff and sample rates (cutoff < sample/2).
+func NewLowPass(cutoffHz, sampleHz float64) (*Biquad, error) {
+	if cutoffHz <= 0 || sampleHz <= 0 || cutoffHz >= sampleHz/2 {
+		return nil, fmt.Errorf("control: cutoff %f Hz invalid for sample rate %f Hz", cutoffHz, sampleHz)
+	}
+	const q = 0.7071 // Butterworth
+	w0 := 2 * math.Pi * cutoffHz / sampleHz
+	alpha := math.Sin(w0) / (2 * q)
+	cosW0 := math.Cos(w0)
+	a0 := 1 + alpha
+	return &Biquad{
+		b0: (1 - cosW0) / 2 / a0,
+		b1: (1 - cosW0) / a0,
+		b2: (1 - cosW0) / 2 / a0,
+		a1: -2 * cosW0 / a0,
+		a2: (1 - alpha) / a0,
+	}, nil
+}
+
+// Filter processes one sample.
+func (f *Biquad) Filter(x float64) float64 {
+	y := f.b0*x + f.b1*f.x1 + f.b2*f.x2 - f.a1*f.y1 - f.a2*f.y2
+	f.x2, f.x1 = f.x1, x
+	f.y2, f.y1 = f.y1, y
+	return y
+}
+
+// Reset zeroes the filter history.
+func (f *Biquad) Reset() {
+	f.x1, f.x2, f.y1, f.y2 = 0, 0, 0, 0
+}
+
+// State returns the filter history for migration.
+func (f *Biquad) State() [4]float64 { return [4]float64{f.x1, f.x2, f.y1, f.y2} }
+
+// SetState restores history captured by State.
+func (f *Biquad) SetState(s [4]float64) { f.x1, f.x2, f.y1, f.y2 = s[0], s[1], s[2], s[3] }
+
+// FilteredPID composes the paper's controller: biquad pre-filter feeding
+// a PID regulator.
+type FilteredPID struct {
+	Filter *Biquad
+	PID    *PID
+}
+
+// NewFilteredPID builds the composite controller.
+func NewFilteredPID(kp, ki, kd, outMin, outMax, cutoffHz, sampleHz float64) (*FilteredPID, error) {
+	pid, err := NewPID(kp, ki, kd, outMin, outMax)
+	if err != nil {
+		return nil, err
+	}
+	f, err := NewLowPass(cutoffHz, sampleHz)
+	if err != nil {
+		return nil, err
+	}
+	return &FilteredPID{Filter: f, PID: pid}, nil
+}
+
+// Update filters the measurement and advances the PID.
+func (c *FilteredPID) Update(setpoint, measured, dt float64) float64 {
+	return c.PID.Update(setpoint, c.Filter.Filter(measured), dt)
+}
+
+// Reset clears both stages.
+func (c *FilteredPID) Reset() {
+	c.Filter.Reset()
+	c.PID.Reset()
+}

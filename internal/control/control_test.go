@@ -1,0 +1,248 @@
+package control
+
+import (
+	"math"
+	"testing"
+)
+
+// simulateTank runs a PID against a first-order integrating process
+// (like the LTS level) and returns the final value and max overshoot.
+func simulateTank(pid *PID, setpoint float64, steps int) (final, maxV float64) {
+	level := 0.0
+	const dt = 0.25
+	for i := 0; i < steps; i++ {
+		u := pid.Update(setpoint, level, dt)
+		// Valve feeds the tank; leakage proportional to the level.
+		level += dt * (0.1*u - 0.05*level)
+		if level > maxV {
+			maxV = level
+		}
+	}
+	return level, maxV
+}
+
+func TestPIDConvergesOnIntegratingProcess(t *testing.T) {
+	pid, err := NewPID(2.0, 0.5, 0.1, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, _ := simulateTank(pid, 50, 4000)
+	if math.Abs(final-50) > 1.0 {
+		t.Fatalf("level settled at %.2f, want ~50", final)
+	}
+}
+
+func TestPIDOutputClamped(t *testing.T) {
+	pid, err := NewPID(100, 0, 0, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := pid.Update(1000, 0, 0.1)
+	if out != 10 {
+		t.Fatalf("out = %f, want clamp at 10", out)
+	}
+	out = pid.Update(-1000, 0, 0.1)
+	if out != 0 {
+		t.Fatalf("out = %f, want clamp at 0", out)
+	}
+}
+
+func TestPIDAntiWindup(t *testing.T) {
+	// Saturate hard for a long time, then reverse the error: with
+	// anti-windup the output must leave the rail quickly.
+	pid, err := NewPID(1, 1, 0, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		pid.Update(100, 0, 0.1) // error +100, output pinned at 10
+	}
+	// Now the measurement overshoots: error becomes negative.
+	steps := 0
+	for ; steps < 50; steps++ {
+		if pid.Update(100, 150, 0.1) < 10 {
+			break
+		}
+	}
+	if steps >= 50 {
+		t.Fatal("integral wind-up: output stuck at rail after error reversal")
+	}
+}
+
+func TestPIDProportionalOnly(t *testing.T) {
+	pid, err := NewPID(2, 0, 0, -100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := pid.Update(10, 4, 1); out != 12 {
+		t.Fatalf("P-only out = %f, want 12", out)
+	}
+}
+
+func TestPIDDerivativeNotPrimedFirstStep(t *testing.T) {
+	pid, err := NewPID(0, 0, 10, -100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First step: no derivative kick even with a big error.
+	if out := pid.Update(50, 0, 0.1); out != 0 {
+		t.Fatalf("derivative kick on first sample: %f", out)
+	}
+	// Second step with unchanged error: derivative 0.
+	if out := pid.Update(50, 0, 0.1); out != 0 {
+		t.Fatalf("derivative on constant error: %f", out)
+	}
+}
+
+func TestPIDStateMigration(t *testing.T) {
+	a, err := NewPID(2, 0.5, 0.1, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		a.Update(50, float64(i)*0.3, 0.25)
+	}
+	integ, prevErr, primed := a.State()
+	b, err := NewPID(2, 0.5, 0.1, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.SetState(integ, prevErr, primed)
+	// Identical next outputs.
+	ua := a.Update(50, 31, 0.25)
+	ub := b.Update(50, 31, 0.25)
+	if ua != ub {
+		t.Fatalf("migrated PID diverged: %f vs %f", ua, ub)
+	}
+}
+
+func TestPIDReset(t *testing.T) {
+	p, err := NewPID(1, 1, 1, -10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Update(5, 0, 1)
+	p.Reset()
+	integ, prevErr, primed := p.State()
+	if integ != 0 || prevErr != 0 || primed {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestPIDBadRange(t *testing.T) {
+	if _, err := NewPID(1, 0, 0, 10, 10); err == nil {
+		t.Fatal("degenerate output range accepted")
+	}
+}
+
+func TestBiquadDCGainUnity(t *testing.T) {
+	f, err := NewLowPass(0.1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var y float64
+	for i := 0; i < 2000; i++ {
+		y = f.Filter(1.0)
+	}
+	if math.Abs(y-1.0) > 0.001 {
+		t.Fatalf("DC gain = %f, want 1", y)
+	}
+}
+
+func TestBiquadAttenuatesHighFrequency(t *testing.T) {
+	// 0.1 Hz cutoff at 4 Hz sampling: a 1.9 Hz tone must be strongly
+	// attenuated, a DC offset passed.
+	f, err := NewLowPass(0.1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxOut := 0.0
+	for i := 0; i < 4000; i++ {
+		x := math.Sin(2 * math.Pi * 1.9 * float64(i) / 4)
+		y := f.Filter(x)
+		if i > 2000 && math.Abs(y) > maxOut {
+			maxOut = math.Abs(y)
+		}
+	}
+	if maxOut > 0.05 {
+		t.Fatalf("1.9Hz leakage amplitude = %f, want < 0.05", maxOut)
+	}
+}
+
+func TestBiquadSmoothsSteps(t *testing.T) {
+	f, err := NewLowPass(0.05, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A unit step must rise gradually (second-order: starts slow).
+	y1 := f.Filter(1)
+	if y1 > 0.1 {
+		t.Fatalf("first response %f too fast for a 2nd-order LPF", y1)
+	}
+}
+
+func TestBiquadStateMigration(t *testing.T) {
+	a, err := NewLowPass(0.1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		a.Filter(float64(i % 7))
+	}
+	b, err := NewLowPass(0.1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.SetState(a.State())
+	if a.Filter(3.3) != b.Filter(3.3) {
+		t.Fatal("migrated filter diverged")
+	}
+}
+
+func TestBiquadInvalidDesign(t *testing.T) {
+	if _, err := NewLowPass(3, 4); err == nil {
+		t.Fatal("cutoff above Nyquist accepted")
+	}
+	if _, err := NewLowPass(0, 4); err == nil {
+		t.Fatal("zero cutoff accepted")
+	}
+}
+
+func TestFilteredPIDComposite(t *testing.T) {
+	c, err := NewFilteredPID(2, 0, 0.5, -1000, 1000, 0.1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Noisy measurement around 20: outputs must be smoother than a raw
+	// PID fed the same noise.
+	raw, err := NewPID(2, 0, 0.5, -1000, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var filtVar, rawVar, prevF, prevR float64
+	for i := 0; i < 400; i++ {
+		noise := 5 * math.Sin(2*math.Pi*1.9*float64(i)/4)
+		m := 20 + noise
+		uf := c.Update(50, m, 0.25)
+		ur := raw.Update(50, m, 0.25)
+		if i > 100 {
+			filtVar += (uf - prevF) * (uf - prevF)
+			rawVar += (ur - prevR) * (ur - prevR)
+		}
+		prevF, prevR = uf, ur
+	}
+	if filtVar >= rawVar {
+		t.Fatalf("filtered output rougher than raw: %f vs %f", filtVar, rawVar)
+	}
+	c.Reset()
+}
+
+func TestZeroDTUpdate(t *testing.T) {
+	p, err := NewPID(1, 1, 1, -10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := p.Update(5, 0, 0); out != 5 {
+		t.Fatalf("zero-dt update = %f, want proportional-only 5", out)
+	}
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"evm/internal/control"
+	"evm/internal/vm"
+)
+
+// TaskLogic is the executable body of a control task. Implementations
+// must support state snapshot/restore so the EVM can migrate a running
+// task between nodes (or let a backup resume from replicated state).
+type TaskLogic interface {
+	// Step consumes one sensor sample and produces the actuator command.
+	Step(input, dt float64) (float64, error)
+	// Snapshot serializes the task's mutable state.
+	Snapshot() ([]byte, error)
+	// Restore loads state produced by Snapshot.
+	Restore([]byte) error
+}
+
+// --- PID logic ---------------------------------------------------------------
+
+// PIDLogic is the paper's LTS controller: second-order filtering followed
+// by a PID regulator (§4.2).
+type PIDLogic struct {
+	ctl      *control.FilteredPID
+	Setpoint float64
+}
+
+var _ TaskLogic = (*PIDLogic)(nil)
+
+// PIDParams configures PIDLogic.
+type PIDParams struct {
+	Kp, Ki, Kd       float64
+	OutMin, OutMax   float64
+	Setpoint         float64
+	CutoffHz, RateHz float64
+	// Reverse selects reverse control action (output grows when the
+	// measurement exceeds the setpoint — the LTS level valve).
+	Reverse bool
+}
+
+// NewPIDLogic builds the composite controller.
+func NewPIDLogic(p PIDParams) (*PIDLogic, error) {
+	ctl, err := control.NewFilteredPID(p.Kp, p.Ki, p.Kd, p.OutMin, p.OutMax, p.CutoffHz, p.RateHz)
+	if err != nil {
+		return nil, err
+	}
+	ctl.PID.Reverse = p.Reverse
+	return &PIDLogic{ctl: ctl, Setpoint: p.Setpoint}, nil
+}
+
+// Step implements TaskLogic.
+func (l *PIDLogic) Step(input, dt float64) (float64, error) {
+	return l.ctl.Update(l.Setpoint, input, dt), nil
+}
+
+const pidStateLen = 8 * 8
+
+// Snapshot implements TaskLogic.
+func (l *PIDLogic) Snapshot() ([]byte, error) {
+	out := make([]byte, 0, pidStateLen)
+	integ, prevErr, primed := l.ctl.PID.State()
+	fs := l.ctl.Filter.State()
+	for _, v := range []float64{l.Setpoint, integ, prevErr, b2f(primed), fs[0], fs[1], fs[2], fs[3]} {
+		out = binary.BigEndian.AppendUint64(out, math.Float64bits(v))
+	}
+	return out, nil
+}
+
+// Restore implements TaskLogic.
+func (l *PIDLogic) Restore(b []byte) error {
+	if len(b) != pidStateLen {
+		return fmt.Errorf("core: pid state of %d bytes, want %d", len(b), pidStateLen)
+	}
+	vals := make([]float64, 8)
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.BigEndian.Uint64(b[i*8:]))
+	}
+	l.Setpoint = vals[0]
+	l.ctl.PID.SetState(vals[1], vals[2], vals[3] != 0)
+	l.ctl.Filter.SetState([4]float64{vals[4], vals[5], vals[6], vals[7]})
+	return nil
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// --- VM logic ----------------------------------------------------------------
+
+// VM port conventions for control capsules: the interpreter reads the
+// sensor sample (Q16.16) from port 0 and the cycle time in milliseconds
+// from port 1, and writes its actuator command (Q16.16) to port 0.
+const (
+	VMPortInput  uint8 = 0
+	VMPortDTms   uint8 = 1
+	VMPortOutput uint8 = 0
+)
+
+// vmHost adapts the per-step I/O to the vm.Host interface.
+type vmHost struct {
+	input  int64
+	dtMS   int64
+	output int64
+	hasOut bool
+}
+
+func (h *vmHost) In(port uint8) (int64, error) {
+	switch port {
+	case VMPortInput:
+		return h.input, nil
+	case VMPortDTms:
+		return h.dtMS, nil
+	default:
+		return 0, fmt.Errorf("core: vm read from unknown port %d", port)
+	}
+}
+
+func (h *vmHost) Out(port uint8, v int64) error {
+	if port != VMPortOutput {
+		return fmt.Errorf("core: vm write to unknown port %d", port)
+	}
+	h.output = v
+	h.hasOut = true
+	return nil
+}
+
+// VMLogic runs a control law expressed as EVM byte code. Each Step resets
+// the program (memory persists across cycles — it is the controller
+// state) and runs it to completion under a gas bound.
+type VMLogic struct {
+	capsule vm.Capsule
+	interp  *vm.Interp
+	host    *vmHost
+	gas     int
+}
+
+var _ TaskLogic = (*VMLogic)(nil)
+
+// NewVMLogic instantiates the capsule after attestation-style re-encoding
+// checks (the capsule is assumed already attested by the migration path).
+func NewVMLogic(c vm.Capsule, gas int) (*VMLogic, error) {
+	if len(c.Code) == 0 {
+		return nil, errors.New("core: empty capsule")
+	}
+	if gas <= 0 {
+		gas = vm.DefaultGas
+	}
+	h := &vmHost{}
+	return &VMLogic{capsule: c, interp: vm.New(c.Code, h), host: h, gas: gas}, nil
+}
+
+// Capsule returns the code capsule backing the logic.
+func (l *VMLogic) Capsule() vm.Capsule { return l.capsule }
+
+// Step implements TaskLogic.
+func (l *VMLogic) Step(input, dt float64) (float64, error) {
+	l.host.input = vm.ToQ(input)
+	l.host.dtMS = int64(dt * 1000)
+	l.host.hasOut = false
+	l.interp.Reset()
+	if err := l.interp.Run(l.gas); err != nil {
+		return 0, fmt.Errorf("capsule %s: %w", l.capsule.TaskID, err)
+	}
+	if !l.host.hasOut {
+		return 0, fmt.Errorf("core: capsule %s produced no output", l.capsule.TaskID)
+	}
+	return vm.FromQ(l.host.output), nil
+}
+
+// Snapshot implements TaskLogic.
+func (l *VMLogic) Snapshot() ([]byte, error) {
+	return l.interp.Snapshot().MarshalBinary()
+}
+
+// Restore implements TaskLogic.
+func (l *VMLogic) Restore(b []byte) error {
+	var st vm.State
+	if err := st.UnmarshalBinary(b); err != nil {
+		return err
+	}
+	return l.interp.Restore(st)
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+
+	"evm/internal/radio"
+	"evm/internal/rtlink"
+	"evm/internal/rtos"
+	"evm/internal/vm"
+	"evm/internal/wire"
+)
+
+// MigrateTask ships this node's replica of a task to another node: the
+// code capsule first (for VM tasks), then the serialized state. The
+// transfer rides ordinary RT-Link slots and is fragmented automatically.
+func (n *Node) MigrateTask(taskID string, dest radio.NodeID) error {
+	r, ok := n.replicas[taskID]
+	if !ok {
+		return fmt.Errorf("core: node %v holds no task %s", n.id, taskID)
+	}
+	if vl, isVM := r.logic.(*VMLogic); isVM {
+		if err := n.sendCapsule(vl.Capsule(), dest); err != nil {
+			return err
+		}
+	}
+	blob, err := r.logic.Snapshot()
+	if err != nil {
+		return fmt.Errorf("snapshot %s: %w", taskID, err)
+	}
+	payload, err := wire.StateXfer{TaskID: taskID, Seq: r.outSeq, Blob: blob}.Encode()
+	if err != nil {
+		return err
+	}
+	n.send(rtlink.Message{Dst: dest, Kind: wire.KindState, Payload: payload})
+	n.stats.MigrationsOut++
+	return nil
+}
+
+func (n *Node) sendCapsule(c vm.Capsule, dest radio.NodeID) error {
+	enc, err := c.Encode()
+	if err != nil {
+		return err
+	}
+	n.send(rtlink.Message{Dst: dest, Kind: wire.KindCapsule, Payload: enc})
+	return nil
+}
+
+// DeployCapsule ships a (possibly brand-new) control-law capsule to dest
+// over the air: the receiver attests it, runs schedulability admission
+// and installs it as a replica of the task named by the capsule. This is
+// the EVM's runtime reprogramming path — new code reaches a live Virtual
+// Component without redeploying nodes.
+func (n *Node) DeployCapsule(c vm.Capsule, dest radio.NodeID) error {
+	if _, ok := n.cfg.TaskByID(c.TaskID); !ok {
+		return fmt.Errorf("core: capsule names unknown task %q", c.TaskID)
+	}
+	if dest == n.id {
+		return fmt.Errorf("core: deploy to self — install directly")
+	}
+	n.stats.MigrationsOut++
+	return n.sendCapsule(c, dest)
+}
+
+// onMigrateCmd executes a head-ordered migration.
+func (n *Node) onMigrateCmd(msg rtlink.Message) {
+	mc, err := wire.DecodeMigrateCmd(msg.Payload)
+	if err != nil {
+		return
+	}
+	_ = n.MigrateTask(mc.TaskID, radio.NodeID(mc.Dest))
+}
+
+// onCapsule receives migrated code: attestation happens inside vm.Decode
+// (checksum over the capsule), then the task is admitted against the
+// node's schedulability test before a replica is created — the paper's
+// §3.1.1 op 8 ("the node executes a basic attestation test to ensure the
+// code/data is not corrupted and passes the schedulability test").
+func (n *Node) onCapsule(msg rtlink.Message) {
+	c, err := vm.Decode(msg.Payload)
+	if err != nil {
+		return // attestation failed: drop
+	}
+	spec, ok := n.cfg.TaskByID(c.TaskID)
+	if !ok {
+		return
+	}
+	logic, err := NewVMLogic(c, 0)
+	if err != nil {
+		return
+	}
+	if !n.ensureAdmitted(spec) {
+		return
+	}
+	n.installReplica(spec, logic)
+}
+
+// onState receives migrated task state. For tasks whose logic can be
+// instantiated from the shared spec (PID controllers), state alone
+// suffices; VM tasks need a capsule first.
+func (n *Node) onState(msg rtlink.Message) {
+	sx, err := wire.DecodeStateXfer(msg.Payload)
+	if err != nil {
+		return
+	}
+	r, ok := n.replicas[sx.TaskID]
+	if !ok {
+		spec, specOK := n.cfg.TaskByID(sx.TaskID)
+		if !specOK {
+			return
+		}
+		logic, err := spec.MakeLogic()
+		if err != nil {
+			return
+		}
+		if !n.ensureAdmitted(spec) {
+			return
+		}
+		r = n.installReplica(spec, logic)
+	}
+	if err := r.logic.Restore(sx.Blob); err != nil {
+		return
+	}
+	r.outSeq = sx.Seq
+	n.stats.MigrationsIn++
+	if n.OnMigrationIn != nil {
+		n.OnMigrationIn(sx.TaskID)
+	}
+}
+
+// ensureAdmitted runs schedulability admission for a task not yet in the
+// node's task set.
+func (n *Node) ensureAdmitted(spec TaskSpec) bool {
+	if _, has := n.taskset.Find(rtos.TaskID(spec.ID)); has {
+		return true
+	}
+	grown, ok := rtos.Admit(n.taskset, spec.RTOSTask(), rtos.TestRTA)
+	if !ok {
+		return false
+	}
+	n.taskset = grown
+	return true
+}
+
+// installReplica creates (or replaces) the local replica in Backup role;
+// activation is the head's decision.
+func (n *Node) installReplica(spec TaskSpec, logic TaskLogic) *replica {
+	r, ok := n.replicas[spec.ID]
+	if !ok {
+		r = &replica{spec: spec, activeNode: spec.Candidates[0], enabled: true}
+		n.replicas[spec.ID] = r
+	}
+	r.logic = logic
+	if r.role == 0 {
+		r.role = wire.RoleBackup
+	}
+	return r
+}

@@ -1,0 +1,49 @@
+package core
+
+import "evm/internal/wire"
+
+// QoSReport summarizes a Virtual Component's service level: the paper's
+// "provably minimal QoS degradation" claim is about how much of the
+// control function survives node failures.
+type QoSReport struct {
+	Tasks          int
+	Covered        int     // tasks with a live Active controller
+	Redundant      int     // tasks with at least one live Backup as well
+	CoverageRatio  float64 // Covered / Tasks
+	RedundancyMean float64 // mean live replicas per task
+}
+
+// EvaluateQoS inspects the nodes of a VC and reports coverage. Failed
+// nodes (radio crashed) are excluded.
+func EvaluateQoS(cfg VCConfig, nodes []*Node) QoSReport {
+	rep := QoSReport{Tasks: len(cfg.Tasks)}
+	if rep.Tasks == 0 {
+		return rep
+	}
+	totalReplicas := 0
+	for _, spec := range cfg.Tasks {
+		liveActive := 0
+		liveBackup := 0
+		for _, n := range nodes {
+			if n.link.Radio().Failed() {
+				continue
+			}
+			switch n.Role(spec.ID) {
+			case wire.RoleActive:
+				liveActive++
+			case wire.RoleBackup:
+				liveBackup++
+			}
+		}
+		if liveActive > 0 {
+			rep.Covered++
+		}
+		if liveActive > 0 && liveBackup > 0 {
+			rep.Redundant++
+		}
+		totalReplicas += liveActive + liveBackup
+	}
+	rep.CoverageRatio = float64(rep.Covered) / float64(rep.Tasks)
+	rep.RedundancyMean = float64(totalReplicas) / float64(rep.Tasks)
+	return rep
+}

@@ -1,0 +1,67 @@
+package mac
+
+import (
+	"fmt"
+	"time"
+)
+
+// BMACConfig parameterizes low-power listening: receivers briefly sample
+// the channel every CheckInterval; senders prefix every frame with a
+// preamble as long as the check interval so the sample catches it.
+type BMACConfig struct {
+	CheckInterval time.Duration
+	// SampleTime is the duration of one channel sample.
+	SampleTime time.Duration
+}
+
+// DefaultBMACConfig returns B-MAC defaults (100 ms check interval, 2.5 ms
+// channel sample).
+func DefaultBMACConfig() BMACConfig {
+	return BMACConfig{CheckInterval: 100 * time.Millisecond, SampleTime: 2500 * time.Microsecond}
+}
+
+// BMACForDutyCycle returns a config whose idle-listening duty cycle (the
+// sampling alone, without traffic) equals d.
+func BMACForDutyCycle(d float64) (BMACConfig, error) {
+	if d <= 0 || d > 1 {
+		return BMACConfig{}, fmt.Errorf("mac: duty cycle %f out of (0,1]", d)
+	}
+	cfg := DefaultBMACConfig()
+	cfg.CheckInterval = time.Duration(float64(cfg.SampleTime) / d)
+	return cfg, nil
+}
+
+// BMAC evaluates the B-MAC energy/latency model.
+//
+// Sender cost per message: preamble (= check interval, worst case the
+// receiver samples just after the preamble starts) + data frame.
+// Receiver cost: periodic channel samples + half the preamble on average +
+// the data frame. Both roles are averaged (every node both sends at the
+// event rate and receives its neighbors' traffic at the same rate).
+func BMAC(p Params, cfg BMACConfig) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.CheckInterval <= 0 || cfg.SampleTime <= 0 {
+		return Result{}, fmt.Errorf("mac: bmac config %+v", cfg)
+	}
+	data := airTime(p, p.PayloadBytes)
+	preamble := cfg.CheckInterval
+
+	// Per-second time fractions.
+	rate := p.EventRateHz
+	txFrac := rate * (preamble + data).Seconds()
+	sampleFrac := cfg.SampleTime.Seconds() / cfg.CheckInterval.Seconds()
+	rxFrac := sampleFrac + rate*(preamble/2+data).Seconds()
+	if txFrac+rxFrac > 1 {
+		return Result{}, fmt.Errorf("mac: bmac saturated (tx %.2f + rx %.2f > 1)", txFrac, rxFrac)
+	}
+	avg := blend(p.Model, txFrac, rxFrac)
+	return Result{
+		Protocol:     "B-MAC",
+		DutyCycle:    txFrac + rxFrac,
+		AvgCurrentMA: avg,
+		Lifetime:     lifetime(p, avg),
+		AvgLatency:   preamble/2 + data,
+	}, nil
+}

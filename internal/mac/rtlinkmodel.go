@@ -1,0 +1,103 @@
+package mac
+
+import (
+	"fmt"
+	"time"
+)
+
+// AMSyncCurrentMA is the continuous draw of the passive AM time-sync
+// receiver on the FireFly add-on board. The paper stresses that sync is
+// hardware-based and passive, so it costs almost nothing.
+const AMSyncCurrentMA = 0.02
+
+// RTLinkConfig parameterizes the TDMA energy model: a frame of
+// SlotsPerFrame slots of SlotDuration, in which the node owns OwnedSlots
+// and listens in ListenSlots, participating in every ActiveFrameEvery-th
+// frame and sleeping whole frames in between.
+type RTLinkConfig struct {
+	SlotDuration  time.Duration
+	SlotsPerFrame int
+	OwnedSlots    int
+	ListenSlots   int
+	// ActiveFrameEvery skips frames to reach low duty cycles.
+	ActiveFrameEvery int
+	// SampleFraction is the fraction of a scheduled listen slot spent
+	// sampling before aborting when the owner has nothing to send
+	// (scheduled slots allow aggressive early abort because the receiver
+	// knows exactly when a preamble would start).
+	SampleFraction float64
+}
+
+// DefaultRTLinkConfig mirrors internal/rtlink.DefaultConfig for a node in
+// a 6-node mesh Virtual Component.
+func DefaultRTLinkConfig() RTLinkConfig {
+	return RTLinkConfig{
+		SlotDuration:     5 * time.Millisecond,
+		SlotsPerFrame:    50,
+		OwnedSlots:       1,
+		ListenSlots:      5,
+		ActiveFrameEvery: 1,
+		SampleFraction:   0.1,
+	}
+}
+
+// slotDuty returns the node's active-slot fraction within one superframe
+// (the quantity the paper calls the duty cycle).
+func (c RTLinkConfig) slotDuty() float64 {
+	perFrame := float64(1+c.OwnedSlots+c.ListenSlots) / float64(c.SlotsPerFrame)
+	return perFrame / float64(c.ActiveFrameEvery)
+}
+
+// RTLinkForDutyCycle scales ActiveFrameEvery so the active-slot duty cycle
+// approximates d. Duty cycles above the single-frame fraction
+// ((1+owned+listen)/slots) are clamped to it.
+func RTLinkForDutyCycle(d float64) (RTLinkConfig, error) {
+	if d <= 0 || d > 1 {
+		return RTLinkConfig{}, fmt.Errorf("mac: duty cycle %f out of (0,1]", d)
+	}
+	cfg := DefaultRTLinkConfig()
+	perFrame := cfg.slotDuty()
+	every := int(perFrame/d + 0.5)
+	if every < 1 {
+		every = 1
+	}
+	cfg.ActiveFrameEvery = every
+	return cfg, nil
+}
+
+// RTLink evaluates the TDMA energy/latency model. Scheduled, collision-
+// free slots mean: no preambles, no overhearing, TX only when a message is
+// queued, and idle listen slots aborted after a short channel sample. Time
+// synchronization comes from the passive AM receiver at ~zero cost.
+func RTLink(p Params, cfg RTLinkConfig) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.SlotDuration <= 0 || cfg.SlotsPerFrame < 2 || cfg.ActiveFrameEvery < 1 ||
+		cfg.SampleFraction <= 0 || cfg.SampleFraction > 1 {
+		return Result{}, fmt.Errorf("mac: rtlink config %+v", cfg)
+	}
+	frame := cfg.SlotDuration * time.Duration(cfg.SlotsPerFrame)
+	superframe := frame * time.Duration(cfg.ActiveFrameEvery)
+
+	data := airTime(p, p.PayloadBytes)
+	rate := p.EventRateHz
+	// TX only when traffic exists, bounded by owned slot capacity.
+	txFrac := rate * data.Seconds()
+	maxTxFrac := (time.Duration(cfg.OwnedSlots) * cfg.SlotDuration).Seconds() / superframe.Seconds()
+	if txFrac > maxTxFrac {
+		return Result{}, fmt.Errorf("mac: rtlink saturated (need %.4f of air, slots give %.4f)", txFrac, maxTxFrac)
+	}
+	// RX: short samples in idle listen slots plus actual frame receptions
+	// at the event rate (each node hears its neighbors' messages).
+	idleSample := float64(cfg.ListenSlots) * cfg.SlotDuration.Seconds() * cfg.SampleFraction / superframe.Seconds()
+	rxFrac := idleSample + rate*data.Seconds()
+	avg := blend(p.Model, txFrac, rxFrac) + AMSyncCurrentMA
+	return Result{
+		Protocol:     "RT-Link",
+		DutyCycle:    cfg.slotDuty(),
+		AvgCurrentMA: avg,
+		Lifetime:     lifetime(p, avg),
+		AvgLatency:   superframe / 2,
+	}, nil
+}

@@ -1,0 +1,71 @@
+package mac
+
+import (
+	"fmt"
+	"time"
+)
+
+// SMACConfig parameterizes S-MAC duty cycling: every CycleLen the node
+// listens for ListenFraction of the cycle (carrying SYNC + RTS/CTS
+// exchanges) and sleeps the rest.
+type SMACConfig struct {
+	CycleLen       time.Duration
+	ListenFraction float64
+	// SyncBytes is the per-cycle synchronization packet cost.
+	SyncBytes int
+}
+
+// DefaultSMACConfig returns S-MAC defaults (1.15 s cycle, 10% listen).
+func DefaultSMACConfig() SMACConfig {
+	return SMACConfig{CycleLen: 1150 * time.Millisecond, ListenFraction: 0.10, SyncBytes: 9}
+}
+
+// SMACForDutyCycle returns a config with the given listen fraction.
+func SMACForDutyCycle(d float64) (SMACConfig, error) {
+	if d <= 0 || d > 1 {
+		return SMACConfig{}, fmt.Errorf("mac: duty cycle %f out of (0,1]", d)
+	}
+	cfg := DefaultSMACConfig()
+	cfg.ListenFraction = d
+	return cfg, nil
+}
+
+// SMAC evaluates the S-MAC energy/latency model.
+//
+// The node listens for ListenFraction of every cycle regardless of
+// traffic, transmits a SYNC packet each cycle, and exchanges
+// RTS/CTS/DATA/ACK for each message. Messages wait for the next listen
+// window (average latency CycleLen*(1-ListenFraction)/2 plus the
+// handshake).
+func SMAC(p Params, cfg SMACConfig) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.CycleLen <= 0 || cfg.ListenFraction <= 0 || cfg.ListenFraction > 1 {
+		return Result{}, fmt.Errorf("mac: smac config %+v", cfg)
+	}
+	data := airTime(p, p.PayloadBytes)
+	ctrl := airTime(p, 10) // RTS/CTS/ACK-sized control frames
+	sync := airTime(p, cfg.SyncBytes)
+
+	rate := p.EventRateHz
+	perCycleTX := sync.Seconds() / cfg.CycleLen.Seconds()
+	// Each message: sender TX (RTS + DATA), RX (CTS + ACK); receiver the
+	// mirror image. Averaged both directions -> 2 ctrl + 1 data each way.
+	msgTX := rate * (ctrl + data).Seconds()
+	msgRX := rate * (2*ctrl + data).Seconds()
+	listenFrac := cfg.ListenFraction
+	txFrac := perCycleTX + msgTX
+	rxFrac := listenFrac + msgRX
+	if txFrac+rxFrac > 1 {
+		return Result{}, fmt.Errorf("mac: smac saturated")
+	}
+	avg := blend(p.Model, txFrac, rxFrac)
+	return Result{
+		Protocol:     "S-MAC",
+		DutyCycle:    txFrac + rxFrac,
+		AvgCurrentMA: avg,
+		Lifetime:     lifetime(p, avg),
+		AvgLatency:   time.Duration(float64(cfg.CycleLen)*(1-listenFrac)/2) + 2*ctrl + data,
+	}, nil
+}

@@ -1,0 +1,305 @@
+// Package modbus implements the small subset of the ModBus protocol the
+// paper's testbed uses to connect the RT-Link gateway to the UniSim plant
+// workstation (§4: "The gateway communicates with Unisim (on the
+// workstation) via ModBus"): RTU-style frames with CRC-16, holding-
+// register reads (0x03), single writes (0x06) and multiple writes (0x10),
+// plus standard exception responses.
+package modbus
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Function codes.
+const (
+	FuncReadHolding   = 0x03
+	FuncWriteSingle   = 0x06
+	FuncWriteMultiple = 0x10
+)
+
+// Exception codes.
+const (
+	ExcIllegalFunction = 0x01
+	ExcIllegalAddress  = 0x02
+	ExcIllegalValue    = 0x03
+)
+
+// Protocol errors.
+var (
+	ErrCRC       = errors.New("modbus: CRC mismatch")
+	ErrShort     = errors.New("modbus: frame too short")
+	ErrUnitID    = errors.New("modbus: response from wrong unit")
+	ErrMalformed = errors.New("modbus: malformed frame")
+)
+
+// ExceptionError is a ModBus exception response.
+type ExceptionError struct {
+	Function byte
+	Code     byte
+}
+
+// Error implements the error interface.
+func (e *ExceptionError) Error() string {
+	return fmt.Sprintf("modbus: exception %#02x on function %#02x", e.Code, e.Function)
+}
+
+// CRC16 computes the ModBus RTU CRC over data.
+func CRC16(data []byte) uint16 {
+	crc := uint16(0xFFFF)
+	for _, b := range data {
+		crc ^= uint16(b)
+		for i := 0; i < 8; i++ {
+			if crc&1 != 0 {
+				crc = crc>>1 ^ 0xA001
+			} else {
+				crc >>= 1
+			}
+		}
+	}
+	return crc
+}
+
+// appendCRC appends the little-endian CRC to a frame body.
+func appendCRC(frame []byte) []byte {
+	crc := CRC16(frame)
+	return append(frame, byte(crc), byte(crc>>8))
+}
+
+// checkCRC verifies and strips the CRC, returning the body.
+func checkCRC(frame []byte) ([]byte, error) {
+	if len(frame) < 4 {
+		return nil, ErrShort
+	}
+	body := frame[:len(frame)-2]
+	want := uint16(frame[len(frame)-2]) | uint16(frame[len(frame)-1])<<8
+	if CRC16(body) != want {
+		return nil, ErrCRC
+	}
+	return body, nil
+}
+
+// RegisterMap is a bank of 16-bit holding registers with an allowed
+// address window.
+type RegisterMap struct {
+	regs map[uint16]uint16
+	max  uint16
+	// OnWrite, when set, observes every successful register write.
+	OnWrite func(addr, value uint16)
+}
+
+// NewRegisterMap creates a map accepting addresses [0, maxAddr].
+func NewRegisterMap(maxAddr uint16) *RegisterMap {
+	return &RegisterMap{regs: make(map[uint16]uint16), max: maxAddr}
+}
+
+// Read returns the register value (unset registers read as zero).
+func (m *RegisterMap) Read(addr uint16) (uint16, bool) {
+	if addr > m.max {
+		return 0, false
+	}
+	return m.regs[addr], true
+}
+
+// Write sets a register value.
+func (m *RegisterMap) Write(addr, value uint16) bool {
+	if addr > m.max {
+		return false
+	}
+	m.regs[addr] = value
+	if m.OnWrite != nil {
+		m.OnWrite(addr, value)
+	}
+	return true
+}
+
+// Server answers ModBus requests against a register map.
+type Server struct {
+	UnitID byte
+	Regs   *RegisterMap
+}
+
+// Handle processes one request frame and returns the response frame.
+// Frames addressed to other units return nil (silent, per RTU semantics).
+func (s *Server) Handle(frame []byte) ([]byte, error) {
+	body, err := checkCRC(frame)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) < 2 {
+		return nil, ErrShort
+	}
+	if body[0] != s.UnitID {
+		return nil, nil
+	}
+	fn := body[1]
+	pdu := body[2:]
+	switch fn {
+	case FuncReadHolding:
+		return s.readHolding(pdu)
+	case FuncWriteSingle:
+		return s.writeSingle(pdu)
+	case FuncWriteMultiple:
+		return s.writeMultiple(pdu)
+	default:
+		return s.exception(fn, ExcIllegalFunction), nil
+	}
+}
+
+func (s *Server) exception(fn, code byte) []byte {
+	return appendCRC([]byte{s.UnitID, fn | 0x80, code})
+}
+
+func (s *Server) readHolding(pdu []byte) ([]byte, error) {
+	if len(pdu) != 4 {
+		return nil, ErrMalformed
+	}
+	addr := binary.BigEndian.Uint16(pdu[0:2])
+	count := binary.BigEndian.Uint16(pdu[2:4])
+	if count == 0 || count > 125 {
+		return s.exception(FuncReadHolding, ExcIllegalValue), nil
+	}
+	out := []byte{s.UnitID, FuncReadHolding, byte(count * 2)}
+	for i := uint16(0); i < count; i++ {
+		v, ok := s.Regs.Read(addr + i)
+		if !ok {
+			return s.exception(FuncReadHolding, ExcIllegalAddress), nil
+		}
+		out = binary.BigEndian.AppendUint16(out, v)
+	}
+	return appendCRC(out), nil
+}
+
+func (s *Server) writeSingle(pdu []byte) ([]byte, error) {
+	if len(pdu) != 4 {
+		return nil, ErrMalformed
+	}
+	addr := binary.BigEndian.Uint16(pdu[0:2])
+	value := binary.BigEndian.Uint16(pdu[2:4])
+	if !s.Regs.Write(addr, value) {
+		return s.exception(FuncWriteSingle, ExcIllegalAddress), nil
+	}
+	// Echo per spec.
+	out := []byte{s.UnitID, FuncWriteSingle}
+	out = binary.BigEndian.AppendUint16(out, addr)
+	out = binary.BigEndian.AppendUint16(out, value)
+	return appendCRC(out), nil
+}
+
+func (s *Server) writeMultiple(pdu []byte) ([]byte, error) {
+	if len(pdu) < 5 {
+		return nil, ErrMalformed
+	}
+	addr := binary.BigEndian.Uint16(pdu[0:2])
+	count := binary.BigEndian.Uint16(pdu[2:4])
+	byteCount := int(pdu[4])
+	if count == 0 || count > 123 || byteCount != int(count)*2 || len(pdu) != 5+byteCount {
+		return s.exception(FuncWriteMultiple, ExcIllegalValue), nil
+	}
+	// Validate the whole window first (atomic write).
+	for i := uint16(0); i < count; i++ {
+		if _, ok := s.Regs.Read(addr + i); !ok {
+			return s.exception(FuncWriteMultiple, ExcIllegalAddress), nil
+		}
+	}
+	for i := uint16(0); i < count; i++ {
+		v := binary.BigEndian.Uint16(pdu[5+2*i:])
+		s.Regs.Write(addr+i, v)
+	}
+	out := []byte{s.UnitID, FuncWriteMultiple}
+	out = binary.BigEndian.AppendUint16(out, addr)
+	out = binary.BigEndian.AppendUint16(out, count)
+	return appendCRC(out), nil
+}
+
+// Client builds requests for and parses responses from a Server.
+type Client struct {
+	UnitID byte
+}
+
+// ReadHoldingRequest builds a read request for count registers at addr.
+func (c *Client) ReadHoldingRequest(addr, count uint16) []byte {
+	out := []byte{c.UnitID, FuncReadHolding}
+	out = binary.BigEndian.AppendUint16(out, addr)
+	out = binary.BigEndian.AppendUint16(out, count)
+	return appendCRC(out)
+}
+
+// WriteSingleRequest builds a single-register write.
+func (c *Client) WriteSingleRequest(addr, value uint16) []byte {
+	out := []byte{c.UnitID, FuncWriteSingle}
+	out = binary.BigEndian.AppendUint16(out, addr)
+	out = binary.BigEndian.AppendUint16(out, value)
+	return appendCRC(out)
+}
+
+// ParseReadResponse extracts register values from a read response.
+func (c *Client) ParseReadResponse(frame []byte) ([]uint16, error) {
+	body, err := checkCRC(frame)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) < 3 {
+		return nil, ErrShort
+	}
+	if body[0] != c.UnitID {
+		return nil, ErrUnitID
+	}
+	if body[1]&0x80 != 0 {
+		if len(body) < 3 {
+			return nil, ErrMalformed
+		}
+		return nil, &ExceptionError{Function: body[1] &^ 0x80, Code: body[2]}
+	}
+	if body[1] != FuncReadHolding {
+		return nil, ErrMalformed
+	}
+	n := int(body[2])
+	if n%2 != 0 || len(body) != 3+n {
+		return nil, ErrMalformed
+	}
+	vals := make([]uint16, n/2)
+	for i := range vals {
+		vals[i] = binary.BigEndian.Uint16(body[3+2*i:])
+	}
+	return vals, nil
+}
+
+// CheckWriteResponse validates a write echo (single or multiple).
+func (c *Client) CheckWriteResponse(frame []byte) error {
+	body, err := checkCRC(frame)
+	if err != nil {
+		return err
+	}
+	if len(body) < 2 {
+		return ErrShort
+	}
+	if body[0] != c.UnitID {
+		return ErrUnitID
+	}
+	if body[1]&0x80 != 0 {
+		return &ExceptionError{Function: body[1] &^ 0x80, Code: body[2]}
+	}
+	return nil
+}
+
+// --- fixed-point register scaling -----------------------------------------
+
+// ToReg encodes a float into a register with the given scale (e.g. scale
+// 100 stores 50.25 as 5025). Values are clamped to the uint16 range.
+func ToReg(v float64, scale float64) uint16 {
+	x := v * scale
+	if x < 0 {
+		return 0
+	}
+	if x > 65535 {
+		return 65535
+	}
+	return uint16(x + 0.5)
+}
+
+// FromReg decodes a register written by ToReg.
+func FromReg(r uint16, scale float64) float64 {
+	return float64(r) / scale
+}

@@ -1,0 +1,251 @@
+package plant
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config parameterizes the flowsheet. Defaults place the plant at the
+// Fig. 6 operating point: LTS level 50% with the valve at 11.48%.
+type Config struct {
+	// FeedKmolH is the combined raw gas feed rate.
+	FeedKmolH float64
+	// FeedLiquidFrac is the free-liquid fraction removed by the inlet
+	// separator.
+	FeedLiquidFrac float64
+	// FeedC3Frac is the propane mole fraction of the feed liquids.
+	FeedC3Frac float64
+	// FeedTempC is the raw feed temperature.
+	FeedTempC float64
+	// CondenseFracDesign is the LTS liquid fraction at the design chill
+	// temperature.
+	CondenseFracDesign float64
+	// DesignChillC is the LTS design temperature.
+	DesignChillC float64
+	// InletHoldupKmol / LTSHoldupKmol are drum inventories at 100%.
+	InletHoldupKmol float64
+	LTSHoldupKmol   float64
+	// NominalValvePct and NominalLevelPct anchor the steady state; the
+	// valve Cv is derived so these balance.
+	NominalValvePct float64
+	NominalLevelPct float64
+	// SepCouplingK couples LTS outflow excursions back into the inlet
+	// separator (pressure interaction along the liquid header).
+	SepCouplingK float64
+	// ColumnTauHours is the Depropanizer composition lag (0 = default
+	// 0.02 h).
+	ColumnTauHours float64
+}
+
+// DefaultConfig returns the Fig. 6 operating point.
+func DefaultConfig() Config {
+	return Config{
+		FeedKmolH:          1000,
+		FeedLiquidFrac:     0.08,
+		FeedC3Frac:         0.30,
+		FeedTempC:          25,
+		CondenseFracDesign: 0.055,
+		DesignChillC:       -20,
+		InletHoldupKmol:    40,
+		LTSHoldupKmol:      25,
+		NominalValvePct:    11.48,
+		NominalLevelPct:    50,
+		SepCouplingK:       0.35,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	checks := []struct {
+		name string
+		v    float64
+	}{
+		{"FeedKmolH", c.FeedKmolH},
+		{"FeedLiquidFrac", c.FeedLiquidFrac},
+		{"CondenseFracDesign", c.CondenseFracDesign},
+		{"InletHoldupKmol", c.InletHoldupKmol},
+		{"LTSHoldupKmol", c.LTSHoldupKmol},
+		{"NominalValvePct", c.NominalValvePct},
+		{"NominalLevelPct", c.NominalLevelPct},
+	}
+	for _, ch := range checks {
+		if err := validatePositive(ch.name, ch.v); err != nil {
+			return err
+		}
+	}
+	if c.FeedLiquidFrac >= 1 || c.CondenseFracDesign >= 1 {
+		return fmt.Errorf("plant: fractions must be < 1")
+	}
+	if c.NominalValvePct > 100 || c.NominalLevelPct > 100 {
+		return fmt.Errorf("plant: nominal operating point out of range")
+	}
+	return nil
+}
+
+// Flows is a snapshot of the molar flows plotted in Fig. 6(b).
+type Flows struct {
+	SepLiq    float64 // inlet separator liquid outflow (kmol/h)
+	LTSLiq    float64 // LTS liquid through the control valve (kmol/h)
+	TowerFeed float64 // mixed liquids into the Depropanizer (kmol/h)
+}
+
+// Plant is the composed flowsheet.
+type Plant struct {
+	cfg       Config
+	inletSep  Separator
+	lts       Separator
+	ltsValve  Valve
+	exchanger Exchanger
+	chiller   Chiller
+	column    Column
+	flows     Flows
+	ltsTempC  float64
+}
+
+// New builds a plant at steady state.
+func New(cfg Config) (*Plant, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Plant{
+		cfg:       cfg,
+		inletSep:  Separator{HoldupKmol: cfg.InletHoldupKmol, LevelPct: 50},
+		lts:       Separator{HoldupKmol: cfg.LTSHoldupKmol, LevelPct: cfg.NominalLevelPct},
+		exchanger: Exchanger{Effectiveness: 0.6},
+		chiller:   Chiller{SetpointC: cfg.DesignChillC, Approach: 0.05},
+		column:    Column{TauHours: cfg.ColumnTauHours, ReboilDutyPct: 50},
+	}
+	if p.column.TauHours <= 0 {
+		p.column.TauHours = 0.02
+	}
+	// Derive the valve Cv so the nominal opening balances the nominal
+	// condensate inflow at the nominal level.
+	gasFlow := cfg.FeedKmolH * (1 - cfg.FeedLiquidFrac)
+	ltsLiqIn := gasFlow * cfg.CondenseFracDesign
+	head := math.Sqrt(cfg.NominalLevelPct / 100)
+	p.ltsValve = Valve{Cv: ltsLiqIn / (cfg.NominalValvePct / 100 * head)}
+	p.ltsValve.SetOpen(cfg.NominalValvePct)
+	// Initialize flows and column at the balanced point.
+	sepLiq := cfg.FeedKmolH * cfg.FeedLiquidFrac
+	p.flows = Flows{SepLiq: sepLiq, LTSLiq: ltsLiqIn, TowerFeed: sepLiq + ltsLiqIn}
+	p.column.DesignFeed = p.flows.TowerFeed
+	p.column.BottomsC3 = cfg.FeedC3Frac * 0.08
+	p.ltsTempC = cfg.DesignChillC
+	return p, nil
+}
+
+// Step advances the plant by dt seconds.
+func (p *Plant) Step(dtSeconds float64) {
+	if dtSeconds <= 0 {
+		return
+	}
+	dtH := dtSeconds / 3600
+	cfg := p.cfg
+
+	// Feed split at the inlet separator.
+	feedLiq := cfg.FeedKmolH * cfg.FeedLiquidFrac
+	gasFlow := cfg.FeedKmolH * (1 - cfg.FeedLiquidFrac)
+
+	// Temperature chain: feed gas -> gas/gas exchanger (cooled by LTS
+	// overhead) -> chiller -> LTS.
+	preCooled := p.exchanger.HotOutletC(cfg.FeedTempC, p.ltsTempC)
+	p.ltsTempC = p.chiller.OutletC(preCooled)
+
+	// Condensation at the LTS.
+	ltsLiqIn := gasFlow * CondensedFraction(cfg.CondenseFracDesign, cfg.DesignChillC, p.ltsTempC)
+
+	// LTS liquid outflow through the control valve.
+	ltsOut := p.ltsValve.Flow(p.lts.LevelPct)
+	p.lts.Step(dtH, ltsLiqIn, ltsOut)
+
+	// Inlet separator: nominal liquid in, outflow self-regulating on its
+	// level, disturbed by LTS outflow excursions through the shared
+	// liquid header (this produces the SepLiq variation in Fig. 6(b)).
+	nominalLTS := gasFlow * cfg.CondenseFracDesign
+	disturb := cfg.SepCouplingK * (ltsOut - nominalLTS)
+	sepOut := feedLiq*(1+0.8*(p.inletSep.LevelPct-50)/50) - disturb
+	if sepOut < 0 {
+		sepOut = 0
+	}
+	p.inletSep.Step(dtH, feedLiq, sepOut)
+
+	// Mix and feed the Depropanizer.
+	towerFeed := sepOut + ltsOut
+	p.column.Step(dtH, towerFeed, cfg.FeedC3Frac)
+
+	p.flows = Flows{SepLiq: sepOut, LTSLiq: ltsOut, TowerFeed: towerFeed}
+}
+
+// --- sensors -------------------------------------------------------------
+
+// LTSLevelPct returns the LTS liquid level percent (the controlled
+// variable of the Fig. 6 loop).
+func (p *Plant) LTSLevelPct() float64 { return p.lts.LevelPct }
+
+// InletSepLevelPct returns the inlet separator level percent.
+func (p *Plant) InletSepLevelPct() float64 { return p.inletSep.LevelPct }
+
+// Flows returns the current molar-flow snapshot.
+func (p *Plant) Flows() Flows { return p.flows }
+
+// LTSTempC returns the LTS operating temperature.
+func (p *Plant) LTSTempC() float64 { return p.ltsTempC }
+
+// BottomsC3 returns the Depropanizer bottoms propane fraction.
+func (p *Plant) BottomsC3() float64 { return p.column.BottomsC3 }
+
+// ValveOpenPct returns the physical LTS valve opening.
+func (p *Plant) ValveOpenPct() float64 { return p.ltsValve.EffectiveOpen() }
+
+// NominalValvePct returns the steady-state valve opening (11.48% at the
+// Fig. 6 operating point).
+func (p *Plant) NominalValvePct() float64 { return p.cfg.NominalValvePct }
+
+// --- actuators and faults ------------------------------------------------
+
+// SetLTSValve commands the LTS liquid valve opening in percent.
+func (p *Plant) SetLTSValve(pct float64) { p.ltsValve.SetOpen(pct) }
+
+// SetChillerDuty commands the propane-refrigeration duty in percent:
+// 0% holds 0 C, 100% holds -40 C; 50% is the -20 C design point.
+func (p *Plant) SetChillerDuty(pct float64) {
+	p.chiller.SetpointC = -0.4 * clampPct(pct)
+}
+
+// ChillerDutyPct returns the current commanded duty.
+func (p *Plant) ChillerDutyPct() float64 { return -p.chiller.SetpointC / 0.4 }
+
+// DisturbFeedTemp shifts the raw feed temperature (used to exercise the
+// chiller temperature loop).
+func (p *Plant) DisturbFeedTemp(deltaC float64) { p.cfg.FeedTempC += deltaC }
+
+// SetReboilDuty commands the Depropanizer reboiler duty in percent (50%
+// is the design point; more duty strips more propane from the bottoms).
+func (p *Plant) SetReboilDuty(pct float64) { p.column.ReboilDutyPct = clampPct(pct) }
+
+// ReboilDutyPct returns the commanded reboiler duty.
+func (p *Plant) ReboilDutyPct() float64 {
+	if p.column.ReboilDutyPct <= 0 {
+		return 50
+	}
+	return p.column.ReboilDutyPct
+}
+
+// DisturbFeedC3 shifts the feed propane fraction (used to exercise the
+// composition loop).
+func (p *Plant) DisturbFeedC3(delta float64) {
+	p.cfg.FeedC3Frac += delta
+	if p.cfg.FeedC3Frac < 0 {
+		p.cfg.FeedC3Frac = 0
+	}
+}
+
+// StickLTSValve injects the Fig. 6 fault: the valve output is forced to
+// pct regardless of controller commands.
+func (p *Plant) StickLTSValve(pct float64) { p.ltsValve.Stick(pct) }
+
+// UnstickLTSValve clears the valve fault.
+func (p *Plant) UnstickLTSValve() { p.ltsValve.Unstick() }
+
+// ValveStuck reports whether the fault is active.
+func (p *Plant) ValveStuck() bool { return p.ltsValve.Stuck() }

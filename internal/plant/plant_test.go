@@ -1,0 +1,228 @@
+package plant
+
+import (
+	"math"
+	"testing"
+)
+
+func newPlant(t *testing.T) *Plant {
+	t.Helper()
+	p, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func stepFor(p *Plant, seconds, dt float64) {
+	for elapsed := 0.0; elapsed < seconds; elapsed += dt {
+		p.Step(dt)
+	}
+}
+
+func TestSteadyStateHolds(t *testing.T) {
+	p := newPlant(t)
+	level0 := p.LTSLevelPct()
+	stepFor(p, 600, 0.25)
+	if math.Abs(p.LTSLevelPct()-level0) > 2 {
+		t.Fatalf("level drifted from %.2f to %.2f at nominal opening", level0, p.LTSLevelPct())
+	}
+	f := p.Flows()
+	if f.TowerFeed <= 0 || f.SepLiq <= 0 || f.LTSLiq <= 0 {
+		t.Fatalf("flows collapsed at steady state: %+v", f)
+	}
+	if math.Abs(f.TowerFeed-(f.SepLiq+f.LTSLiq)) > 1e-6 {
+		t.Fatalf("mass balance broken: %+v", f)
+	}
+}
+
+func TestStuckValveDrainsLTS(t *testing.T) {
+	// The Fig. 6(b) fault: valve forced to 75% instead of 11.48%.
+	p := newPlant(t)
+	p.StickLTSValve(75)
+	level0 := p.LTSLevelPct()
+	stepFor(p, 300, 0.25)
+	if p.LTSLevelPct() >= level0-10 {
+		t.Fatalf("level only fell from %.1f to %.1f under 75%% stuck valve", level0, p.LTSLevelPct())
+	}
+}
+
+func TestStuckValveSpikesTowerFeed(t *testing.T) {
+	p := newPlant(t)
+	nominal := p.Flows().TowerFeed
+	p.StickLTSValve(75)
+	p.Step(0.25)
+	p.Step(0.25)
+	if p.Flows().TowerFeed <= nominal*1.5 {
+		t.Fatalf("tower feed %.1f did not spike above nominal %.1f", p.Flows().TowerFeed, nominal)
+	}
+}
+
+func TestRecoveryAfterUnstick(t *testing.T) {
+	// After the fault clears and the (healthy) controller restores the
+	// nominal opening, the level must climb back toward the setpoint.
+	p := newPlant(t)
+	p.StickLTSValve(75)
+	stepFor(p, 300, 0.25)
+	low := p.LTSLevelPct()
+	p.UnstickLTSValve()
+	p.SetLTSValve(5) // close below nominal to refill
+	stepFor(p, 600, 0.25)
+	if p.LTSLevelPct() <= low+5 {
+		t.Fatalf("level %.1f did not recover from %.1f", p.LTSLevelPct(), low)
+	}
+}
+
+func TestValveCommandsIgnoredWhileStuck(t *testing.T) {
+	p := newPlant(t)
+	p.StickLTSValve(75)
+	p.SetLTSValve(11.48)
+	if p.ValveOpenPct() != 75 {
+		t.Fatalf("stuck valve moved: %.1f", p.ValveOpenPct())
+	}
+	if !p.ValveStuck() {
+		t.Fatal("fault flag lost")
+	}
+	p.UnstickLTSValve()
+	if p.ValveOpenPct() != 11.48 {
+		t.Fatalf("commanded opening lost across fault: %.2f", p.ValveOpenPct())
+	}
+}
+
+func TestSepLiqDisturbedByLTSExcursion(t *testing.T) {
+	// Fig. 6(b): the inlet separator flow varies during the fault.
+	p := newPlant(t)
+	nominal := p.Flows().SepLiq
+	p.StickLTSValve(75)
+	p.Step(0.25)
+	if math.Abs(p.Flows().SepLiq-nominal) < 1 {
+		t.Fatalf("sep liquid flow unperturbed (%.2f vs %.2f)", p.Flows().SepLiq, nominal)
+	}
+}
+
+func TestLevelBounded(t *testing.T) {
+	p := newPlant(t)
+	p.StickLTSValve(100)
+	stepFor(p, 3600, 0.5)
+	if p.LTSLevelPct() < 0 {
+		t.Fatalf("level went negative: %f", p.LTSLevelPct())
+	}
+	p.UnstickLTSValve()
+	p.SetLTSValve(0)
+	stepFor(p, 7200, 0.5)
+	if p.LTSLevelPct() > 100 {
+		t.Fatalf("level above 100%%: %f", p.LTSLevelPct())
+	}
+}
+
+func TestChillerTemperatureChain(t *testing.T) {
+	p := newPlant(t)
+	stepFor(p, 60, 0.25)
+	tc := p.LTSTempC()
+	if tc > -15 || tc < -30 {
+		t.Fatalf("LTS temperature %.1fC implausible for a -20C chiller", tc)
+	}
+}
+
+func TestColdPlantCondensesMore(t *testing.T) {
+	base := CondensedFraction(0.055, -20, -20)
+	colder := CondensedFraction(0.055, -20, -30)
+	warmer := CondensedFraction(0.055, -20, -10)
+	if colder <= base || warmer >= base {
+		t.Fatalf("condensation trend wrong: %f / %f / %f", colder, base, warmer)
+	}
+	if CondensedFraction(0.5, 0, 1e9) != 0 {
+		t.Fatal("condensed fraction not clamped at 0")
+	}
+	if CondensedFraction(0.5, 1e9, 0) != 1 {
+		t.Fatal("condensed fraction not clamped at 1")
+	}
+}
+
+func TestColumnLagsTowardFeed(t *testing.T) {
+	c := Column{TauHours: 0.1, DesignFeed: 100}
+	c.Step(0.5, 100, 0.3) // long step relative to tau
+	want := 0.3 * 0.08
+	if math.Abs(c.BottomsC3-want) > 0.01 {
+		t.Fatalf("bottoms C3 = %f, want ~%f", c.BottomsC3, want)
+	}
+	// Overload degrades separation.
+	c2 := Column{TauHours: 0.1, DesignFeed: 100, BottomsC3: want}
+	c2.Step(1.0, 200, 0.3)
+	if c2.BottomsC3 <= want {
+		t.Fatal("overloaded column did not slip more C3")
+	}
+}
+
+func TestClosedLoopPIDHoldsLevel(t *testing.T) {
+	// A simple proportional controller on the valve keeps the level at
+	// setpoint despite a feed disturbance.
+	cfg := DefaultConfig()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setpoint := 50.0
+	for i := 0; i < 4000; i++ {
+		if i == 2000 {
+			cfg.FeedKmolH = 1100 // +10% feed
+			p.cfg = cfg
+		}
+		err := p.LTSLevelPct() - setpoint
+		p.SetLTSValve(cfg.NominalValvePct + 2*err)
+		p.Step(0.25)
+	}
+	if math.Abs(p.LTSLevelPct()-setpoint) > 3 {
+		t.Fatalf("closed loop settled at %.2f, want ~%.0f", p.LTSLevelPct(), setpoint)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := DefaultConfig()
+	bad.FeedKmolH = 0
+	if _, err := New(bad); err == nil {
+		t.Fatal("zero feed accepted")
+	}
+	bad = DefaultConfig()
+	bad.FeedLiquidFrac = 1.5
+	if _, err := New(bad); err == nil {
+		t.Fatal("liquid fraction > 1 accepted")
+	}
+	bad = DefaultConfig()
+	bad.NominalValvePct = 150
+	if _, err := New(bad); err == nil {
+		t.Fatal("valve opening > 100 accepted")
+	}
+}
+
+func TestSeparatorLevelIntegration(t *testing.T) {
+	s := Separator{HoldupKmol: 10, LevelPct: 50}
+	s.Step(0.1, 20, 10) // net +10 kmol/h for 0.1h = +1 kmol = +10%
+	if math.Abs(s.LevelPct-60) > 1e-9 {
+		t.Fatalf("level = %f, want 60", s.LevelPct)
+	}
+	s.Step(10, 0, 100)
+	if s.LevelPct != 0 {
+		t.Fatal("level not clamped at 0")
+	}
+}
+
+func TestValveCharacteristic(t *testing.T) {
+	v := Valve{Cv: 100}
+	v.SetOpen(50)
+	fullHead := v.Flow(100)
+	halfHead := v.Flow(50)
+	if fullHead <= halfHead {
+		t.Fatal("flow must grow with head")
+	}
+	if math.Abs(fullHead-50) > 1e-9 {
+		t.Fatalf("flow at 50%% open, full head = %f, want 50", fullHead)
+	}
+	if v.Flow(0) != 0 || v.Flow(-5) != 0 {
+		t.Fatal("flow with no head")
+	}
+	v.SetOpen(150)
+	if v.OpenPct != 100 {
+		t.Fatal("opening not clamped")
+	}
+}

@@ -1,0 +1,208 @@
+// Package plant is a lumped-parameter dynamic model of the natural-gas
+// processing facility from the paper's case study (Fig. 4): raw gas feeds
+// combine into the Inlet Separator; overhead gas is pre-cooled in the
+// gas/gas exchanger and chilled; the cold stream flashes in the
+// Low-Temperature Separator (LTS); separator liquids mix and feed the
+// Depropanizer column.
+//
+// It replaces the Honeywell UniSim hardware-in-loop simulator: the EVM
+// experiments only need the *shape* of the Fig. 6(b) transients (LTS level
+// collapse under a stuck valve, molar-flow excursions, slow recovery), and
+// those are governed by holdup mass balances that this model integrates
+// explicitly.
+package plant
+
+import (
+	"fmt"
+	"math"
+)
+
+// Separator is a liquid holdup drum: level integrates inflow minus
+// outflow. Level is expressed in percent of full range.
+type Separator struct {
+	// HoldupKmol is the liquid inventory at 100% level.
+	HoldupKmol float64
+	// LevelPct is the current liquid level in [0,100].
+	LevelPct float64
+}
+
+// Step integrates the level over dt hours with the given molar flows
+// (kmol/h). The level saturates at [0,100].
+func (s *Separator) Step(dtHours, inflow, outflow float64) {
+	if s.HoldupKmol <= 0 {
+		return
+	}
+	s.LevelPct += (inflow - outflow) / s.HoldupKmol * 100 * dtHours
+	if s.LevelPct < 0 {
+		s.LevelPct = 0
+	}
+	if s.LevelPct > 100 {
+		s.LevelPct = 100
+	}
+}
+
+// Valve is a control valve with a square-root installed characteristic.
+// A stuck-output fault (the Fig. 6 failure: 75% instead of 11.48%)
+// overrides the commanded opening.
+type Valve struct {
+	// Cv scales flow at full opening and unit head.
+	Cv float64
+	// OpenPct is the commanded opening in [0,100].
+	OpenPct float64
+
+	stuck    bool
+	stuckPct float64
+}
+
+// SetOpen commands the valve opening (clamped to [0,100]).
+func (v *Valve) SetOpen(pct float64) {
+	v.OpenPct = clampPct(pct)
+}
+
+// Stick forces the valve to a fixed opening regardless of commands,
+// modeling the failed controller output.
+func (v *Valve) Stick(pct float64) {
+	v.stuck = true
+	v.stuckPct = clampPct(pct)
+}
+
+// Unstick clears the fault.
+func (v *Valve) Unstick() { v.stuck = false }
+
+// Stuck reports whether the fault is active.
+func (v *Valve) Stuck() bool { return v.stuck }
+
+// EffectiveOpen returns the physical opening, accounting for the fault.
+func (v *Valve) EffectiveOpen() float64 {
+	if v.stuck {
+		return v.stuckPct
+	}
+	return v.OpenPct
+}
+
+// Flow returns the molar flow (kmol/h) for the given upstream head,
+// expressed as level percent of the feeding drum.
+func (v *Valve) Flow(headPct float64) float64 {
+	if headPct <= 0 {
+		return 0
+	}
+	return v.Cv * (v.EffectiveOpen() / 100) * math.Sqrt(headPct/100)
+}
+
+// Exchanger is the gas/gas pre-cooler: a fixed-effectiveness counterflow
+// heat exchanger between the warm inlet gas and the cold LTS overhead.
+type Exchanger struct {
+	// Effectiveness in [0,1].
+	Effectiveness float64
+}
+
+// HotOutletC returns the pre-cooled gas temperature for the given hot
+// inlet and cold return temperatures.
+func (e *Exchanger) HotOutletC(hotInC, coldInC float64) float64 {
+	eff := e.Effectiveness
+	if eff < 0 {
+		eff = 0
+	}
+	if eff > 1 {
+		eff = 1
+	}
+	return hotInC - eff*(hotInC-coldInC)
+}
+
+// Chiller is the propane refrigeration unit: it cools its inlet toward a
+// setpoint with a first-order approach.
+type Chiller struct {
+	// SetpointC is the target outlet temperature.
+	SetpointC float64
+	// Approach is the residual fraction of (inlet - setpoint) that
+	// survives (0 = ideal chiller).
+	Approach float64
+}
+
+// OutletC returns the chilled stream temperature.
+func (c *Chiller) OutletC(inC float64) float64 {
+	return c.SetpointC + c.Approach*(inC-c.SetpointC)
+}
+
+// CondensedFraction returns the fraction of the gas stream that flashes to
+// liquid in the LTS at temperature tC. Colder gas condenses more heavies;
+// the linear slope is anchored at the design point.
+func CondensedFraction(designFrac, designTempC, tC float64) float64 {
+	f := designFrac * (1 + 0.015*(designTempC-tC))
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// Column is the Depropanizer: bottoms propane content follows the feed
+// with a first-order lag; heavier feed rates degrade separation slightly
+// and more reboil duty strips more propane out of the bottoms.
+type Column struct {
+	// TauHours is the composition lag time constant.
+	TauHours float64
+	// DesignFeed is the nominal feed rate (kmol/h).
+	DesignFeed float64
+	// BottomsC3 is the current bottoms propane mole fraction.
+	BottomsC3 float64
+	// ReboilDutyPct modulates separation: 50% is the design point;
+	// higher duty leaves less propane in the bottoms.
+	ReboilDutyPct float64
+}
+
+// separation returns the fraction of feed C3 that slips to the bottoms
+// at the current reboil duty (0.08 at the 50% design point).
+func (c *Column) separation() float64 {
+	duty := c.ReboilDutyPct
+	if duty <= 0 {
+		duty = 50
+	}
+	s := 0.08 * (1.5 - duty/100)
+	if s < 0.01 {
+		s = 0.01
+	}
+	return s
+}
+
+// Step advances the bottoms composition for dt hours given the current
+// feed flow and feed propane fraction.
+func (c *Column) Step(dtHours, feedFlow, feedC3 float64) {
+	if c.TauHours <= 0 {
+		return
+	}
+	// Overloaded column separates worse: more C3 slips to the bottoms.
+	overload := 0.0
+	if c.DesignFeed > 0 && feedFlow > c.DesignFeed {
+		overload = 0.05 * (feedFlow/c.DesignFeed - 1)
+	}
+	target := feedC3*c.separation() + overload
+	f := dtHours / c.TauHours
+	if f > 1 {
+		f = 1
+	}
+	c.BottomsC3 += (target - c.BottomsC3) * f
+	if c.BottomsC3 < 0 {
+		c.BottomsC3 = 0
+	}
+}
+
+func clampPct(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 100 {
+		return 100
+	}
+	return v
+}
+
+// validatePositive is a small helper for config checks.
+func validatePositive(name string, v float64) error {
+	if v <= 0 {
+		return fmt.Errorf("plant: %s must be positive, got %f", name, v)
+	}
+	return nil
+}

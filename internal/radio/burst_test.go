@@ -1,0 +1,135 @@
+package radio
+
+import (
+	"testing"
+	"time"
+
+	"evm/internal/sim"
+)
+
+// lossPattern transmits n packets over one link and returns the
+// delivered/lost pattern.
+func lossPattern(t *testing.T, cfg Config, n int) []bool {
+	t.Helper()
+	eng := sim.New()
+	m := NewMedium(eng, sim.NewRNG(12), cfg)
+	a, err := m.Attach(1, Position{0, 0}, nil, DefaultEnergyModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Attach(2, Position{5, 0}, nil, DefaultEnergyModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pattern := make([]bool, 0, n)
+	got := false
+	b.SetHandler(func(Packet) { got = true })
+	b.SetState(StateRX)
+	for i := 0; i < n; i++ {
+		at := time.Duration(i) * 10 * time.Millisecond
+		eng.At(at, func() {
+			got = false
+			_, _ = a.Send(Packet{Dst: 2, Payload: []byte{1}})
+		})
+		eng.At(at+9*time.Millisecond, func() {
+			pattern = append(pattern, got)
+		})
+	}
+	eng.Run()
+	return pattern
+}
+
+// burstiness returns the conditional loss probability P(loss | previous
+// loss) divided by the marginal loss probability — 1.0 for independent
+// losses, >1 for bursty channels.
+func burstiness(pattern []bool) float64 {
+	losses, lossPairs, prevLoss := 0, 0, 0
+	for i, ok := range pattern {
+		if !ok {
+			losses++
+			if i > 0 && !pattern[i-1] {
+				lossPairs++
+			}
+		}
+		if i > 0 && !pattern[i-1] {
+			prevLoss++
+		}
+	}
+	if losses == 0 || prevLoss == 0 {
+		return 0
+	}
+	marginal := float64(losses) / float64(len(pattern))
+	conditional := float64(lossPairs) / float64(prevLoss)
+	return conditional / marginal
+}
+
+func TestGilbertElliottProducesBursts(t *testing.T) {
+	bursty := DefaultConfig()
+	bursty.RefPER = 0
+	bursty.Burst = GilbertElliott{PBad: 0.8, GoodToBad: 0.02, BadToGood: 0.2}
+	pattern := lossPattern(t, bursty, 20000)
+	ratio := burstiness(pattern)
+	if ratio < 2 {
+		t.Fatalf("burstiness ratio %.2f, want clearly > 1 (correlated losses)", ratio)
+	}
+}
+
+func TestUniformLossNotBursty(t *testing.T) {
+	uniform := DefaultConfig()
+	uniform.RefPER = 0
+	uniform.Burst = GilbertElliott{}
+	eng := sim.New()
+	_ = eng
+	// Force a flat 10% PER.
+	cfgPattern := func() []bool {
+		engine := sim.New()
+		m := NewMedium(engine, sim.NewRNG(12), uniform)
+		m.ForcePER(0.1)
+		a, err := m.Attach(1, Position{0, 0}, nil, DefaultEnergyModel())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := m.Attach(2, Position{5, 0}, nil, DefaultEnergyModel())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pattern := make([]bool, 0, 20000)
+		got := false
+		b.SetHandler(func(Packet) { got = true })
+		b.SetState(StateRX)
+		for i := 0; i < 20000; i++ {
+			at := time.Duration(i) * 10 * time.Millisecond
+			engine.At(at, func() {
+				got = false
+				_, _ = a.Send(Packet{Dst: 2, Payload: []byte{1}})
+			})
+			engine.At(at+9*time.Millisecond, func() { pattern = append(pattern, got) })
+		}
+		engine.Run()
+		return pattern
+	}
+	ratio := burstiness(cfgPattern())
+	if ratio > 1.3 {
+		t.Fatalf("uniform loss burstiness %.2f, want ~1", ratio)
+	}
+}
+
+func TestBurstLossRecoversToGoodState(t *testing.T) {
+	// Long-run loss rate must match the stationary distribution, not the
+	// bad-state rate: pi_bad = g2b/(g2b+b2g).
+	cfg := DefaultConfig()
+	cfg.RefPER = 0
+	cfg.Burst = GilbertElliott{PBad: 1.0, GoodToBad: 0.05, BadToGood: 0.45}
+	pattern := lossPattern(t, cfg, 20000)
+	losses := 0
+	for _, ok := range pattern {
+		if !ok {
+			losses++
+		}
+	}
+	rate := float64(losses) / float64(len(pattern))
+	want := 0.05 / (0.05 + 0.45) // 0.10
+	if rate < want-0.03 || rate > want+0.03 {
+		t.Fatalf("long-run loss %.3f, want ~%.2f (stationary)", rate, want)
+	}
+}

@@ -1,0 +1,87 @@
+package radio
+
+import "time"
+
+// EnergyModel holds per-state current draw. Defaults follow the FireFly
+// platform (ATmega1281 + CC2420) numbers the paper builds on.
+type EnergyModel struct {
+	TXCurrentMA    float64 // radio transmitting
+	RXCurrentMA    float64 // radio receiving / listening
+	IdleCurrentMA  float64 // MCU active, radio off
+	SleepCurrentMA float64 // deep sleep
+	VoltageV       float64
+}
+
+// DefaultEnergyModel returns CC2420/FireFly-like current draws.
+func DefaultEnergyModel() EnergyModel {
+	return EnergyModel{
+		TXCurrentMA:    17.4,
+		RXCurrentMA:    19.7,
+		IdleCurrentMA:  6.0,
+		SleepCurrentMA: 0.021,
+		VoltageV:       3.0,
+	}
+}
+
+// Current returns the draw for a radio state in mA.
+func (m EnergyModel) Current(s State) float64 {
+	switch s {
+	case StateTX:
+		return m.TXCurrentMA
+	case StateRX:
+		return m.RXCurrentMA
+	case StateIdle:
+		return m.IdleCurrentMA
+	case StateSleep:
+		return m.SleepCurrentMA
+	default:
+		return 0
+	}
+}
+
+// Battery integrates charge consumption over virtual time.
+type Battery struct {
+	CapacityMAH float64
+	consumedMAS float64 // milliamp-seconds
+}
+
+// NewBattery returns a battery with the given capacity in mAh. Two AA
+// cells (~2600 mAh) are the FireFly reference supply.
+func NewBattery(capacityMAH float64) *Battery {
+	return &Battery{CapacityMAH: capacityMAH}
+}
+
+// Drain consumes currentMA for dur of virtual time.
+func (b *Battery) Drain(currentMA float64, dur time.Duration) {
+	b.consumedMAS += currentMA * dur.Seconds()
+}
+
+// ConsumedMAH returns the total charge consumed so far.
+func (b *Battery) ConsumedMAH() float64 { return b.consumedMAS / 3600 }
+
+// RemainingFraction returns remaining charge in [0,1].
+func (b *Battery) RemainingFraction() float64 {
+	if b.CapacityMAH <= 0 {
+		return 0
+	}
+	f := 1 - b.ConsumedMAH()/b.CapacityMAH
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// Depleted reports whether the battery is exhausted.
+func (b *Battery) Depleted() bool { return b.RemainingFraction() <= 0 }
+
+// LifetimeAt extrapolates total battery lifetime assuming the average
+// current observed over elapsed continues indefinitely. Returns 0 if no
+// charge has been consumed yet.
+func (b *Battery) LifetimeAt(elapsed time.Duration) time.Duration {
+	if b.consumedMAS <= 0 || elapsed <= 0 {
+		return 0
+	}
+	avgMA := b.consumedMAS / elapsed.Seconds()
+	hours := b.CapacityMAH / avgMA
+	return time.Duration(hours * float64(time.Hour))
+}

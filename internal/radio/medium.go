@@ -1,0 +1,336 @@
+package radio
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"evm/internal/sim"
+)
+
+// State is the radio power state.
+type State int
+
+// Radio power states. Sleep is the deepest state; Idle means the MCU is
+// awake with the radio off; RX and TX are the active radio states.
+const (
+	StateSleep State = iota + 1
+	StateIdle
+	StateRX
+	StateTX
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateSleep:
+		return "sleep"
+	case StateIdle:
+		return "idle"
+	case StateRX:
+		return "rx"
+	case StateTX:
+		return "tx"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// DropReason classifies why a frame was not delivered to a receiver.
+type DropReason int
+
+// Drop reasons recorded in Stats.
+const (
+	DropLoss DropReason = iota + 1 // stochastic channel loss
+	DropCollision
+	DropNotListening
+	DropOutOfRange
+)
+
+// Config parameterizes the medium.
+type Config struct {
+	// BitrateBPS is the air data rate (802.15.4: 250 kbit/s).
+	BitrateBPS float64
+	// RangeM is the maximum communication distance.
+	RangeM float64
+	// RefPER is the packet error rate at RangeM/2 used by the
+	// distance-loss curve (PER grows with distance^2 up to RangeM).
+	RefPER float64
+	// Burst enables a Gilbert-Elliott two-state burst-loss overlay.
+	Burst GilbertElliott
+	// PropDelay is a fixed propagation delay (effectively zero at
+	// sensor-network scales but kept explicit).
+	PropDelay time.Duration
+}
+
+// DefaultConfig returns 802.15.4-like parameters.
+func DefaultConfig() Config {
+	return Config{
+		BitrateBPS: 250_000,
+		RangeM:     30,
+		RefPER:     0.02,
+		Burst:      DefaultGilbertElliott(),
+		PropDelay:  0,
+	}
+}
+
+// GilbertElliott is a classical two-state burst-loss channel: in the Good
+// state packets drop with PGood, in Bad with PBad; states flip with the
+// given per-packet transition probabilities.
+type GilbertElliott struct {
+	PGood     float64 // loss probability in Good state
+	PBad      float64 // loss probability in Bad state
+	GoodToBad float64
+	BadToGood float64
+}
+
+// DefaultGilbertElliott returns a mild burst-loss channel.
+func DefaultGilbertElliott() GilbertElliott {
+	return GilbertElliott{PGood: 0, PBad: 0.6, GoodToBad: 0.01, BadToGood: 0.25}
+}
+
+type linkState struct {
+	bad bool
+}
+
+type linkKey struct{ a, b NodeID }
+
+// Position is a 2-D node location in meters.
+type Position struct{ X, Y float64 }
+
+// Distance returns the Euclidean distance to q.
+func (p Position) Distance(q Position) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Stats accumulates medium-wide counters.
+type Stats struct {
+	Sent         int
+	Delivered    int
+	DroppedLoss  int
+	DroppedColl  int
+	DroppedNoRX  int
+	DroppedRange int
+}
+
+// Medium is the shared wireless channel. It owns all radios and performs
+// propagation, loss and collision resolution on the simulation engine.
+type Medium struct {
+	eng    *sim.Engine
+	rng    *sim.RNG
+	cfg    Config
+	radios map[NodeID]*Radio
+	links  map[linkKey]*linkState
+	stats  Stats
+	// forcedPER overrides the distance model when >= 0 (used by
+	// experiments that sweep loss rates directly).
+	forcedPER float64
+	seq       uint32
+}
+
+// NewMedium creates a medium on the given engine with its own PRNG stream.
+func NewMedium(eng *sim.Engine, rng *sim.RNG, cfg Config) *Medium {
+	return &Medium{
+		eng:       eng,
+		rng:       rng,
+		cfg:       cfg,
+		radios:    make(map[NodeID]*Radio),
+		links:     make(map[linkKey]*linkState),
+		forcedPER: -1,
+	}
+}
+
+// Engine returns the simulation engine the medium runs on.
+func (m *Medium) Engine() *sim.Engine { return m.eng }
+
+// Config returns the medium configuration.
+func (m *Medium) Config() Config { return m.cfg }
+
+// Stats returns a copy of the medium counters.
+func (m *Medium) Stats() Stats { return m.stats }
+
+// ForcePER overrides the distance-based loss model with a fixed packet
+// error rate on every link. Pass a negative value to restore the model.
+func (m *Medium) ForcePER(per float64) { m.forcedPER = per }
+
+// Attach creates and registers a radio for the node. Attaching a duplicate
+// ID returns an error.
+func (m *Medium) Attach(id NodeID, pos Position, battery *Battery, model EnergyModel) (*Radio, error) {
+	if _, ok := m.radios[id]; ok {
+		return nil, fmt.Errorf("radio: node %v already attached", id)
+	}
+	r := &Radio{
+		id:        id,
+		med:       m,
+		pos:       pos,
+		state:     StateSleep,
+		lastSince: m.eng.Now(),
+		battery:   battery,
+		model:     model,
+	}
+	m.radios[id] = r
+	return r, nil
+}
+
+// Radio returns the radio attached for id, or nil.
+func (m *Medium) Radio(id NodeID) *Radio { return m.radios[id] }
+
+// Nodes returns the IDs of all attached radios (unordered).
+func (m *Medium) Nodes() []NodeID {
+	ids := make([]NodeID, 0, len(m.radios))
+	for id := range m.radios {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+func (m *Medium) link(a, b NodeID) *linkState {
+	if a > b {
+		a, b = b, a
+	}
+	k := linkKey{a, b}
+	ls, ok := m.links[k]
+	if !ok {
+		ls = &linkState{}
+		m.links[k] = ls
+	}
+	return ls
+}
+
+// perFor returns the packet error rate between two radios.
+func (m *Medium) perFor(tx, rx *Radio) float64 {
+	if m.forcedPER >= 0 {
+		return m.forcedPER
+	}
+	d := tx.pos.Distance(rx.pos)
+	if d >= m.cfg.RangeM {
+		return 1
+	}
+	// Quadratic growth anchored so PER(Range/2) = RefPER.
+	norm := d / (m.cfg.RangeM / 2)
+	per := m.cfg.RefPER * norm * norm
+	if per > 1 {
+		per = 1
+	}
+	return per
+}
+
+// airTime returns the on-air duration for n bytes.
+func (m *Medium) airTime(bytes int) time.Duration {
+	secs := float64(bytes*8) / m.cfg.BitrateBPS
+	return time.Duration(secs * float64(time.Second))
+}
+
+// transmission tracks one frame in flight.
+type transmission struct {
+	pkt      Packet
+	from     *Radio
+	start    time.Duration
+	end      time.Duration
+	collided map[NodeID]bool
+}
+
+// Transmit sends pkt from the radio. The caller must have put the radio in
+// TX state; Transmit enforces this. Delivery callbacks fire at the end of
+// the air time. The returned duration is the air time.
+func (m *Medium) transmit(from *Radio, pkt Packet) (time.Duration, error) {
+	if from.state != StateTX {
+		return 0, fmt.Errorf("radio: node %v transmit in state %v", from.id, from.state)
+	}
+	m.seq++
+	pkt.Seq = m.seq
+	m.stats.Sent++
+	air := m.airTime(pkt.AirBytes())
+	tx := &transmission{
+		pkt:      pkt,
+		from:     from,
+		start:    m.eng.Now(),
+		end:      m.eng.Now() + air,
+		collided: make(map[NodeID]bool),
+	}
+	// Collision marking: any receiver already capturing another frame has
+	// both frames destroyed.
+	for id, r := range m.radios {
+		if id == from.id {
+			continue
+		}
+		if from.pos.Distance(r.pos) >= m.cfg.RangeM {
+			continue
+		}
+		if r.capture != nil && m.eng.Now() < r.capture.end {
+			r.capture.collided[id] = true
+			tx.collided[id] = true
+			continue
+		}
+		r.capture = tx
+	}
+	m.eng.At(tx.end+m.cfg.PropDelay, func() { m.complete(tx) })
+	return air, nil
+}
+
+func (m *Medium) complete(tx *transmission) {
+	for id, r := range m.radios {
+		if id == tx.from.id {
+			continue
+		}
+		if r.capture == tx {
+			r.capture = nil
+		}
+		m.deliverTo(tx, r)
+	}
+}
+
+func (m *Medium) deliverTo(tx *transmission, r *Radio) {
+	if tx.pkt.Hop != Broadcast && tx.pkt.Hop != r.id {
+		return
+	}
+	if tx.from.pos.Distance(r.pos) >= m.cfg.RangeM {
+		m.stats.DroppedRange++
+		r.drops[DropOutOfRange]++
+		return
+	}
+	if tx.collided[r.id] {
+		m.stats.DroppedColl++
+		r.drops[DropCollision]++
+		return
+	}
+	// The receiver must have been in RX for the whole frame.
+	if r.state != StateRX || r.lastSince > tx.start {
+		m.stats.DroppedNoRX++
+		r.drops[DropNotListening]++
+		return
+	}
+	if m.lossDraw(tx.from, r) {
+		m.stats.DroppedLoss++
+		r.drops[DropLoss]++
+		return
+	}
+	m.stats.Delivered++
+	r.received++
+	if r.handler != nil {
+		r.handler(tx.pkt.Clone())
+	}
+}
+
+// lossDraw decides whether the channel destroys the frame, combining the
+// distance PER with the Gilbert-Elliott burst overlay.
+func (m *Medium) lossDraw(tx, rx *Radio) bool {
+	ls := m.link(tx.id, rx.id)
+	ge := m.cfg.Burst
+	// State transition per packet.
+	if ls.bad {
+		if m.rng.Bool(ge.BadToGood) {
+			ls.bad = false
+		}
+	} else if m.rng.Bool(ge.GoodToBad) {
+		ls.bad = true
+	}
+	p := m.perFor(tx, rx)
+	if ls.bad {
+		p = 1 - (1-p)*(1-ge.PBad)
+	} else if ge.PGood > 0 {
+		p = 1 - (1-p)*(1-ge.PGood)
+	}
+	return m.rng.Bool(p)
+}

@@ -1,0 +1,161 @@
+package rtlink
+
+import (
+	"fmt"
+
+	"evm/internal/radio"
+)
+
+// LinkStats counts link-layer activity for one node.
+type LinkStats struct {
+	MsgsSent      int // messages accepted for transmission
+	MsgsDelivered int // whole messages delivered to the handler
+	FragsSent     int
+	FragsReceived int
+	FragsRelayed  int
+	QueueDrops    int
+	// ReserveDeferrals counts slots skipped because the per-frame
+	// network reservation was exhausted.
+	ReserveDeferrals int
+}
+
+// Link is the per-node RT-Link layer: an outgoing fragment queue drained
+// one fragment per owned slot, a reassembler, and a static next-hop
+// routing table for multi-hop forwarding.
+type Link struct {
+	net     *Network
+	r       *radio.Radio
+	txq     []fragment
+	nextID  uint16
+	reasm   *reassembler
+	handler func(Message)
+	routes  map[radio.NodeID]radio.NodeID
+	stats   LinkStats
+	// MaxQueue bounds the fragment queue; 0 means unbounded.
+	MaxQueue int
+	// txBudget caps fragments transmitted per frame (nano-RK network
+	// reservation); 0 means unlimited.
+	txBudget    int
+	txThisFrame int
+}
+
+// SetNetworkReservation caps the node's transmissions to n fragments per
+// TDMA frame, enforcing a nano-RK-style network reserve. Pass 0 to
+// remove the cap.
+func (l *Link) SetNetworkReservation(n int) { l.txBudget = n }
+
+// ID returns the node ID.
+func (l *Link) ID() radio.NodeID { return l.r.ID() }
+
+// Radio exposes the underlying radio (for failure injection and energy
+// accounting in experiments).
+func (l *Link) Radio() *radio.Radio { return l.r }
+
+// Stats returns a copy of the link counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// QueueLen returns the number of fragments waiting for slots.
+func (l *Link) QueueLen() int { return len(l.txq) }
+
+// SetHandler installs the message delivery callback.
+func (l *Link) SetHandler(fn func(Message)) { l.handler = fn }
+
+// SetRoute installs dst -> nextHop for multi-hop forwarding.
+func (l *Link) SetRoute(dst, nextHop radio.NodeID) { l.routes[dst] = nextHop }
+
+// nextHop resolves the link-layer hop for an end-to-end destination.
+func (l *Link) nextHop(dst radio.NodeID) radio.NodeID {
+	if dst == radio.Broadcast {
+		return radio.Broadcast
+	}
+	if h, ok := l.routes[dst]; ok {
+		return h
+	}
+	return dst // assume one hop
+}
+
+// Send queues a message for transmission in this node's owned slots.
+func (l *Link) Send(msg Message) error {
+	if l.r.Failed() {
+		return fmt.Errorf("rtlink: node %v is failed", l.ID())
+	}
+	msg.Src = l.ID()
+	l.nextID++
+	frags, err := fragmentMessage(msg, l.nextID, l.net.cfg.MaxPayload)
+	if err != nil {
+		return err
+	}
+	if l.MaxQueue > 0 && len(l.txq)+len(frags) > l.MaxQueue {
+		l.stats.QueueDrops++
+		return fmt.Errorf("rtlink: node %v queue full (%d)", l.ID(), len(l.txq))
+	}
+	l.txq = append(l.txq, frags...)
+	l.stats.MsgsSent++
+	return nil
+}
+
+// FramesNeeded returns how many TDMA frames a payload of the given size
+// occupies for a node owning slotsPerFrame slots.
+func (l *Link) FramesNeeded(payloadBytes, slotsOwned int) int {
+	if slotsOwned <= 0 {
+		return 0
+	}
+	frags := (payloadBytes + l.net.cfg.MaxPayload - 1) / l.net.cfg.MaxPayload
+	if frags == 0 {
+		frags = 1
+	}
+	return (frags + slotsOwned - 1) / slotsOwned
+}
+
+// transmitNext sends the head-of-line fragment in the current slot.
+func (l *Link) transmitNext() {
+	if len(l.txq) == 0 {
+		return
+	}
+	if l.txBudget > 0 && l.txThisFrame >= l.txBudget {
+		l.stats.ReserveDeferrals++
+		return // network reserve exhausted for this frame
+	}
+	l.txThisFrame++
+	f := l.txq[0]
+	l.txq = l.txq[1:]
+	pkt := radio.Packet{
+		Dst:     f.dst,
+		Hop:     l.nextHop(f.dst),
+		Kind:    dataKind,
+		Payload: f.encode(),
+	}
+	if _, err := l.r.Send(pkt); err == nil {
+		l.stats.FragsSent++
+	}
+}
+
+// onFrame handles a radio frame addressed to this node's hop.
+func (l *Link) onFrame(pkt radio.Packet) {
+	if pkt.Kind != dataKind {
+		return
+	}
+	f, err := decodeFragment(pkt.Payload)
+	if err != nil {
+		return
+	}
+	l.stats.FragsReceived++
+	if f.dst != l.ID() && f.dst != radio.Broadcast {
+		// Relay toward the destination if a route exists.
+		if _, ok := l.routes[f.dst]; ok {
+			l.txq = append(l.txq, f)
+			l.stats.FragsRelayed++
+		}
+		return
+	}
+	msg, done := l.reasm.add(f)
+	if !done {
+		return
+	}
+	l.stats.MsgsDelivered++
+	if l.handler != nil {
+		l.handler(msg)
+	}
+	// Broadcast fragments are also relayed by nodes with explicit routes?
+	// No: broadcast stays single-hop in this model.
+}

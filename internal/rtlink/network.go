@@ -1,0 +1,171 @@
+package rtlink
+
+import (
+	"fmt"
+	"time"
+
+	"evm/internal/radio"
+	"evm/internal/sim"
+)
+
+// dataKind is the radio.Kind used for RT-Link data frames.
+const dataKind radio.Kind = 1
+
+// Network drives the TDMA frame structure for a set of links sharing a
+// medium. One Network corresponds to one synchronized RT-Link cell.
+type Network struct {
+	eng   *sim.Engine
+	med   *radio.Medium
+	cfg   Config
+	sched Schedule
+	links map[radio.NodeID]*Link
+	frame uint64
+
+	started bool
+	stopped bool
+}
+
+// NewNetwork creates a TDMA network over the medium. The schedule may be
+// replaced at runtime with SetSchedule.
+func NewNetwork(med *radio.Medium, cfg Config, sched Schedule) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := sched.Validate(cfg); err != nil {
+		return nil, err
+	}
+	// A maximal fragment must fit on air inside one slot, or listeners
+	// would sleep mid-frame and every full slot would be lost.
+	airBytes := cfg.MaxPayload + fragHeaderLen + radio.Overhead
+	airTime := time.Duration(float64(airBytes*8) / med.Config().BitrateBPS * float64(time.Second))
+	if airTime > cfg.SlotDuration {
+		return nil, fmt.Errorf("rtlink: max fragment air time %v exceeds slot %v", airTime, cfg.SlotDuration)
+	}
+	return &Network{
+		eng:   med.Engine(),
+		med:   med,
+		cfg:   cfg,
+		sched: sched,
+		links: make(map[radio.NodeID]*Link),
+	}, nil
+}
+
+// Config returns the frame configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Engine returns the simulation engine the network runs on.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// Frame returns the number of frames started so far.
+func (n *Network) Frame() uint64 { return n.frame }
+
+// Schedule returns the current slot schedule.
+func (n *Network) Schedule() Schedule { return n.sched }
+
+// SetSchedule swaps the slot schedule; it takes effect at the next frame
+// boundary (the EVM uses this for runtime slot reassignment).
+func (n *Network) SetSchedule(s Schedule) error {
+	if err := s.Validate(n.cfg); err != nil {
+		return err
+	}
+	n.sched = s
+	return nil
+}
+
+// Join creates the link layer for a node whose radio is already attached
+// to the medium.
+func (n *Network) Join(id radio.NodeID) (*Link, error) {
+	r := n.med.Radio(id)
+	if r == nil {
+		return nil, fmt.Errorf("rtlink: node %v has no radio on the medium", id)
+	}
+	if _, ok := n.links[id]; ok {
+		return nil, fmt.Errorf("rtlink: node %v already joined", id)
+	}
+	l := &Link{
+		net:    n,
+		r:      r,
+		reasm:  newReassembler(),
+		routes: make(map[radio.NodeID]radio.NodeID),
+	}
+	r.SetHandler(l.onFrame)
+	n.links[id] = l
+	return l, nil
+}
+
+// Link returns the link layer for id, or nil.
+func (n *Network) Link(id radio.NodeID) *Link { return n.links[id] }
+
+// Start begins the TDMA frame loop at the current virtual time.
+func (n *Network) Start() {
+	if n.started {
+		return
+	}
+	n.started = true
+	n.eng.At(n.eng.Now(), n.runFrame)
+}
+
+// Stop halts the frame loop after the current frame completes.
+func (n *Network) Stop() { n.stopped = true }
+
+func (n *Network) runFrame() {
+	if n.stopped {
+		return
+	}
+	frameStart := n.eng.Now()
+	n.frame++
+	active := (n.frame-1)%uint64(n.cfg.ActiveFrameEvery) == 0
+	for _, l := range n.links {
+		l.txThisFrame = 0 // replenish network reserves
+	}
+	if active {
+		// Sync slot: every live node wakes to catch the AM pulse.
+		n.med.BroadcastSync()
+		for _, l := range n.links {
+			if !l.r.Failed() {
+				l.r.SetState(radio.StateRX)
+			}
+		}
+		n.eng.AtPrio(frameStart+n.cfg.SlotDuration, -1, func() {
+			for _, l := range n.links {
+				if !l.r.Failed() {
+					l.r.SetState(radio.StateSleep)
+				}
+			}
+		})
+		sched := n.sched // capture: SetSchedule applies next frame
+		for slot, as := range sched {
+			slot, as := slot, as
+			at := frameStart + time.Duration(slot)*n.cfg.SlotDuration
+			n.eng.AtPrio(at, 0, func() { n.openSlot(as) })
+			n.eng.AtPrio(at+n.cfg.SlotDuration, -1, func() { n.closeSlot(as) })
+		}
+	}
+	n.eng.At(frameStart+n.cfg.FrameDuration(), n.runFrame)
+}
+
+// openSlot wakes the listeners and fires the owner's transmission.
+func (n *Network) openSlot(as SlotAssign) {
+	for _, id := range as.Listeners {
+		if l, ok := n.links[id]; ok && !l.r.Failed() {
+			l.r.SetState(radio.StateRX)
+		}
+	}
+	owner, ok := n.links[as.Owner]
+	if !ok || owner.r.Failed() {
+		return
+	}
+	owner.transmitNext()
+}
+
+// closeSlot returns all participants to sleep.
+func (n *Network) closeSlot(as SlotAssign) {
+	for _, id := range as.Listeners {
+		if l, ok := n.links[id]; ok && !l.r.Failed() {
+			l.r.SetState(radio.StateSleep)
+		}
+	}
+	if owner, ok := n.links[as.Owner]; ok && !owner.r.Failed() {
+		owner.r.SetState(radio.StateSleep)
+	}
+}

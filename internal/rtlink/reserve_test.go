@@ -1,0 +1,104 @@
+package rtlink
+
+import (
+	"testing"
+	"time"
+
+	"evm/internal/radio"
+	"evm/internal/sim"
+)
+
+// reserveNet builds a 2-node network where node 1 owns 3 slots per frame.
+func reserveNet(t *testing.T) (*sim.Engine, *Network) {
+	t.Helper()
+	eng := sim.New()
+	rcfg := radio.DefaultConfig()
+	rcfg.RefPER = 0
+	rcfg.Burst = radio.GilbertElliott{}
+	med := radio.NewMedium(eng, sim.NewRNG(2), rcfg)
+	ids := []radio.NodeID{1, 2}
+	for i, id := range ids {
+		if _, err := med.Attach(id, radio.Position{X: float64(i * 3)}, nil, radio.DefaultEnergyModel()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := DefaultConfig()
+	sched, err := BuildMeshScheduleK(ids, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := NewNetwork(med, cfg, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if _, err := net.Join(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return eng, net
+}
+
+func TestNetworkReservationCapsThroughput(t *testing.T) {
+	eng, net := reserveNet(t)
+	l := net.Link(1)
+	l.SetNetworkReservation(1) // 1 fragment per frame despite 3 owned slots
+	delivered := 0
+	net.Link(2).SetHandler(func(Message) { delivered++ })
+	for i := 0; i < 6; i++ {
+		if err := l.Send(Message{Dst: 2, Payload: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Start()
+	_ = eng.RunUntil(net.Config().FrameDuration() * 3)
+	// 3 frames x 1 fragment budget = 3 deliveries.
+	if delivered != 3 {
+		t.Fatalf("delivered %d in 3 frames under budget 1, want 3", delivered)
+	}
+	if l.Stats().ReserveDeferrals == 0 {
+		t.Fatal("deferrals not counted")
+	}
+	// Remaining traffic drains in later frames (budget replenishes).
+	_ = eng.RunUntil(net.Config().FrameDuration() * 7)
+	if delivered != 6 {
+		t.Fatalf("delivered %d total, want 6", delivered)
+	}
+}
+
+func TestNoReservationUsesAllSlots(t *testing.T) {
+	eng, net := reserveNet(t)
+	l := net.Link(1)
+	delivered := 0
+	net.Link(2).SetHandler(func(Message) { delivered++ })
+	for i := 0; i < 6; i++ {
+		if err := l.Send(Message{Dst: 2, Payload: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Start()
+	_ = eng.RunUntil(net.Config().FrameDuration() * 2)
+	// 2 frames x 3 owned slots = 6 deliveries.
+	if delivered != 6 {
+		t.Fatalf("delivered %d in 2 frames, want 6", delivered)
+	}
+}
+
+func TestReservationRemovable(t *testing.T) {
+	eng, net := reserveNet(t)
+	l := net.Link(1)
+	l.SetNetworkReservation(1)
+	l.SetNetworkReservation(0) // back to unlimited
+	delivered := 0
+	net.Link(2).SetHandler(func(Message) { delivered++ })
+	for i := 0; i < 3; i++ {
+		if err := l.Send(Message{Dst: 2, Payload: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Start()
+	_ = eng.RunUntil(net.Config().FrameDuration() * time.Duration(2))
+	if delivered != 3 {
+		t.Fatalf("delivered %d, want 3 with no cap", delivered)
+	}
+}

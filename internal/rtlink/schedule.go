@@ -1,0 +1,207 @@
+package rtlink
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"evm/internal/radio"
+)
+
+// Config parameterizes the TDMA frame structure.
+type Config struct {
+	// SlotDuration is the length of one transmission slot.
+	SlotDuration time.Duration
+	// SlotsPerFrame includes the implicit sync slot at index 0.
+	SlotsPerFrame int
+	// MaxPayload is the application payload bytes per slot after the
+	// fragment header.
+	MaxPayload int
+	// ActiveFrameEvery makes nodes participate only in every k-th frame
+	// (sleeping whole frames in between) to reach low duty cycles; 1
+	// means every frame is active.
+	ActiveFrameEvery int
+}
+
+// DefaultConfig returns a frame of 50 slots of 5 ms: a 250 ms frame, which
+// is exactly the paper's "1/4 second or less" control cycle (objective 5).
+// A 96-byte payload plus headers occupies ~3.9 ms on air at 250 kbit/s and
+// fits one slot.
+func DefaultConfig() Config {
+	return Config{
+		SlotDuration:     5 * time.Millisecond,
+		SlotsPerFrame:    50,
+		MaxPayload:       96,
+		ActiveFrameEvery: 1,
+	}
+}
+
+// FrameDuration returns the length of one TDMA frame.
+func (c Config) FrameDuration() time.Duration {
+	return c.SlotDuration * time.Duration(c.SlotsPerFrame)
+}
+
+// Validate checks configuration sanity.
+func (c Config) Validate() error {
+	if c.SlotDuration <= 0 {
+		return fmt.Errorf("rtlink: slot duration %v", c.SlotDuration)
+	}
+	if c.SlotsPerFrame < 2 {
+		return fmt.Errorf("rtlink: need >=2 slots per frame, got %d", c.SlotsPerFrame)
+	}
+	if c.MaxPayload <= 0 {
+		return fmt.Errorf("rtlink: max payload %d", c.MaxPayload)
+	}
+	if c.ActiveFrameEvery < 1 {
+		return fmt.Errorf("rtlink: active frame every %d", c.ActiveFrameEvery)
+	}
+	return nil
+}
+
+// SlotAssign names the owner of a slot and the set of nodes that listen
+// during it. Slot 0 is reserved for the sync pulse and may not be assigned.
+type SlotAssign struct {
+	Owner     radio.NodeID
+	Listeners []radio.NodeID
+}
+
+// Schedule maps slot index -> assignment. Unassigned slots are silent (all
+// nodes sleep).
+type Schedule map[int]SlotAssign
+
+// Validate checks the schedule against the config.
+func (s Schedule) Validate(cfg Config) error {
+	for slot, as := range s {
+		if slot <= 0 || slot >= cfg.SlotsPerFrame {
+			return fmt.Errorf("rtlink: slot %d out of range 1..%d", slot, cfg.SlotsPerFrame-1)
+		}
+		for _, l := range as.Listeners {
+			if l == as.Owner {
+				return fmt.Errorf("rtlink: slot %d owner %v also listens", slot, as.Owner)
+			}
+		}
+	}
+	return nil
+}
+
+// OwnedSlots returns the sorted slots owned by id.
+func (s Schedule) OwnedSlots(id radio.NodeID) []int {
+	var out []int
+	for slot, as := range s {
+		if as.Owner == id {
+			out = append(out, slot)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ListenSlots returns the sorted slots in which id listens.
+func (s Schedule) ListenSlots(id radio.NodeID) []int {
+	var out []int
+	for slot, as := range s {
+		for _, l := range as.Listeners {
+			if l == id {
+				out = append(out, slot)
+				break
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ActiveSlotFraction returns the fraction of frame slots (incl. the sync
+// slot) in which id is awake — the node's radio duty cycle within an
+// active frame.
+func (s Schedule) ActiveSlotFraction(id radio.NodeID, cfg Config) float64 {
+	active := 1 // sync slot
+	active += len(s.OwnedSlots(id))
+	active += len(s.ListenSlots(id))
+	return float64(active) / float64(cfg.SlotsPerFrame)
+}
+
+// BuildStarSchedule assigns one TX slot per node in a star topology rooted
+// at hub: every node's transmissions are heard by the hub, and the hub's
+// slot is heard by everyone. Slots are assigned in ascending node order
+// starting at slot 1.
+func BuildStarSchedule(hub radio.NodeID, nodes []radio.NodeID, cfg Config) (Schedule, error) {
+	ordered := append([]radio.NodeID(nil), nodes...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+	sched := make(Schedule, len(ordered)+1)
+	slot := 1
+	// Hub slot first: all spokes listen.
+	spokes := make([]radio.NodeID, 0, len(ordered))
+	for _, n := range ordered {
+		if n != hub {
+			spokes = append(spokes, n)
+		}
+	}
+	sched[slot] = SlotAssign{Owner: hub, Listeners: spokes}
+	slot++
+	for _, n := range spokes {
+		if slot >= cfg.SlotsPerFrame {
+			return nil, fmt.Errorf("rtlink: %d nodes do not fit in %d slots", len(ordered), cfg.SlotsPerFrame)
+		}
+		sched[slot] = SlotAssign{Owner: n, Listeners: []radio.NodeID{hub}}
+		slot++
+	}
+	return sched, nil
+}
+
+// BuildMeshSchedule assigns one TX slot per node where every other node
+// listens — full connectivity inside a Virtual Component (the paper's
+// controllers all hear each other's outputs for passive observation).
+func BuildMeshSchedule(nodes []radio.NodeID, cfg Config) (Schedule, error) {
+	return BuildMeshScheduleK(nodes, cfg, 1)
+}
+
+// BuildMeshScheduleK is BuildMeshSchedule with k TX slots per node,
+// interleaved round-robin (node order repeats k times). Controllers that
+// send both an actuation and a health message every control cycle need
+// k >= 2.
+func BuildMeshScheduleK(nodes []radio.NodeID, cfg Config, k int) (Schedule, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("rtlink: slots per node %d", k)
+	}
+	ordered := append([]radio.NodeID(nil), nodes...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+	if len(ordered)*k+1 > cfg.SlotsPerFrame {
+		return nil, fmt.Errorf("rtlink: %d nodes x %d slots do not fit in %d slots", len(ordered), k, cfg.SlotsPerFrame)
+	}
+	sched := make(Schedule, len(ordered)*k)
+	slot := 1
+	for round := 0; round < k; round++ {
+		for _, n := range ordered {
+			listeners := make([]radio.NodeID, 0, len(ordered)-1)
+			for _, o := range ordered {
+				if o != n {
+					listeners = append(listeners, o)
+				}
+			}
+			sched[slot] = SlotAssign{Owner: n, Listeners: listeners}
+			slot++
+		}
+	}
+	return sched, nil
+}
+
+// BuildLineSchedule assigns slots along a multi-hop line a-b-c-...: each
+// node owns one slot heard by its immediate neighbors.
+func BuildLineSchedule(line []radio.NodeID, cfg Config) (Schedule, error) {
+	if len(line)+1 > cfg.SlotsPerFrame {
+		return nil, fmt.Errorf("rtlink: line of %d does not fit in %d slots", len(line), cfg.SlotsPerFrame)
+	}
+	sched := make(Schedule, len(line))
+	for i, n := range line {
+		var listeners []radio.NodeID
+		if i > 0 {
+			listeners = append(listeners, line[i-1])
+		}
+		if i < len(line)-1 {
+			listeners = append(listeners, line[i+1])
+		}
+		sched[i+1] = SlotAssign{Owner: n, Listeners: listeners}
+	}
+	return sched, nil
+}

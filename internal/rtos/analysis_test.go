@@ -1,0 +1,244 @@
+package rtos
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func TestUtilizationBoundValues(t *testing.T) {
+	cases := []struct {
+		n    int
+		want float64
+	}{
+		{1, 1.0},
+		{2, 0.828},
+		{3, 0.780},
+		{10, 0.718},
+	}
+	for _, c := range cases {
+		got := UtilizationBound(c.n)
+		if math.Abs(got-c.want) > 0.001 {
+			t.Errorf("UB(%d) = %.3f, want %.3f", c.n, got, c.want)
+		}
+	}
+	if UtilizationBound(0) != 0 {
+		t.Error("UB(0) != 0")
+	}
+}
+
+func TestUBBoundDecreasesTowardLn2(t *testing.T) {
+	f := func(n uint8) bool {
+		k := int(n%50) + 1
+		ub := UtilizationBound(k)
+		return ub >= math.Ln2-1e-9 && ub <= 1.0+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchedulableUBAccepts(t *testing.T) {
+	ts := AssignRM(TaskSet{
+		{ID: "a", Period: ms(100), WCET: ms(20)},
+		{ID: "b", Period: ms(200), WCET: ms(40)},
+	}) // U = 0.4 <= 0.828
+	if !SchedulableUB(ts) {
+		t.Fatal("feasible set rejected by UB")
+	}
+}
+
+func TestSchedulableUBRejectsOverload(t *testing.T) {
+	ts := AssignRM(TaskSet{
+		{ID: "a", Period: ms(100), WCET: ms(60)},
+		{ID: "b", Period: ms(200), WCET: ms(90)},
+	}) // U = 1.05
+	if SchedulableUB(ts) {
+		t.Fatal("overloaded set accepted by UB")
+	}
+}
+
+func TestRTAClassicExample(t *testing.T) {
+	// Classic 3-task RM example: T=(50,80,100) C=(10,20,30).
+	// R1=10, R2=30, R3=10+10+20+30? compute: all schedulable, U=0.75.
+	ts := AssignRM(TaskSet{
+		{ID: "t1", Period: ms(50), WCET: ms(10)},
+		{ID: "t2", Period: ms(80), WCET: ms(20)},
+		{ID: "t3", Period: ms(100), WCET: ms(30)},
+	})
+	r1, ok1 := ResponseTime(ts, "t1")
+	if !ok1 || r1 != ms(10) {
+		t.Fatalf("R(t1) = %v ok=%v, want 10ms", r1, ok1)
+	}
+	r2, ok2 := ResponseTime(ts, "t2")
+	if !ok2 || r2 != ms(30) {
+		t.Fatalf("R(t2) = %v ok=%v, want 30ms", r2, ok2)
+	}
+	r3, ok3 := ResponseTime(ts, "t3")
+	if !ok3 {
+		t.Fatalf("R(t3) = %v not schedulable", r3)
+	}
+	// R3 = 30 + ceil(R/50)*10 + ceil(R/80)*20: fixed point at 80:
+	// 30+20+20=70 -> 30+20+20=70? iterate: r=30: 30+10+20=60; r=60:
+	// 30+20+20=70; r=70: 30+20+20=70. Fixed point 70.
+	if r3 != ms(70) {
+		t.Fatalf("R(t3) = %v, want 70ms", r3)
+	}
+}
+
+func TestRTAAcceptsWhatUBRejects(t *testing.T) {
+	// U = 0.9 > UB(2) = 0.828, yet harmonic periods make it feasible.
+	ts := AssignRM(TaskSet{
+		{ID: "a", Period: ms(100), WCET: ms(50)},
+		{ID: "b", Period: ms(200), WCET: ms(80)},
+	})
+	if SchedulableUB(ts) {
+		t.Fatal("UB accepted U=0.9 with 2 tasks")
+	}
+	if !SchedulableRTA(ts) {
+		t.Fatal("RTA rejected a feasible harmonic set")
+	}
+}
+
+func TestRTARejectsInfeasible(t *testing.T) {
+	ts := AssignRM(TaskSet{
+		{ID: "a", Period: ms(100), WCET: ms(60)},
+		{ID: "b", Period: ms(150), WCET: ms(80)},
+	}) // U = 1.13
+	if SchedulableRTA(ts) {
+		t.Fatal("RTA accepted an overloaded set")
+	}
+}
+
+func TestConstrainedDeadlineFallsBackToRTA(t *testing.T) {
+	// Low utilization but a deadline tighter than interference allows.
+	ts := TaskSet{
+		{ID: "a", Period: ms(100), WCET: ms(30), Priority: 1},
+		{ID: "b", Period: ms(1000), WCET: ms(50), Deadline: ms(60), Priority: 2},
+	}
+	if SchedulableUB(ts) {
+		t.Fatal("UB path accepted constrained-deadline set that RTA rejects")
+	}
+}
+
+func TestAdmitGrowsSet(t *testing.T) {
+	base := AssignRM(TaskSet{{ID: "a", Period: ms(100), WCET: ms(20)}})
+	grown, ok := Admit(base, Task{ID: "b", Period: ms(50), WCET: ms(10)}, TestRTA)
+	if !ok {
+		t.Fatal("feasible admission rejected")
+	}
+	if len(grown) != 2 {
+		t.Fatalf("grown set has %d tasks", len(grown))
+	}
+	// RM must have put b (shorter period) at higher priority.
+	b, _ := grown.Find("b")
+	a, _ := grown.Find("a")
+	if b.Priority >= a.Priority {
+		t.Fatal("RM priorities not reassigned on admission")
+	}
+}
+
+func TestAdmitRejects(t *testing.T) {
+	base := AssignRM(TaskSet{{ID: "a", Period: ms(100), WCET: ms(70)}})
+	if _, ok := Admit(base, Task{ID: "b", Period: ms(100), WCET: ms(50)}, TestRTA); ok {
+		t.Fatal("overload admitted")
+	}
+	if _, ok := Admit(base, Task{ID: "a", Period: ms(100), WCET: ms(1)}, TestRTA); ok {
+		t.Fatal("duplicate ID admitted")
+	}
+	if _, ok := Admit(base, Task{ID: "c", Period: 0, WCET: ms(1)}, TestRTA); ok {
+		t.Fatal("invalid task admitted")
+	}
+}
+
+func TestUBNeverAcceptsWhatRTARejects(t *testing.T) {
+	// Property: UB is sufficient — any UB-accepted implicit-deadline set
+	// must also pass exact analysis.
+	rngSeed := int64(1)
+	f := func(p1, p2, p3 uint16) bool {
+		rngSeed++
+		mk := func(p uint16, id TaskID) Task {
+			period := ms(int(p%200) + 10)
+			wcet := period / 8
+			return Task{ID: id, Period: period, WCET: wcet}
+		}
+		ts := AssignRM(TaskSet{mk(p1, "a"), mk(p2, "b"), mk(p3, "c")})
+		if !SchedulableUB(ts) {
+			return true // vacuous
+		}
+		return SchedulableRTA(ts)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHyperperiod(t *testing.T) {
+	ts := TaskSet{
+		{ID: "a", Period: ms(20), WCET: ms(1)},
+		{ID: "b", Period: ms(30), WCET: ms(1)},
+	}
+	if h := Hyperperiod(ts); h != ms(60) {
+		t.Fatalf("hyperperiod = %v, want 60ms", h)
+	}
+}
+
+func TestPriorityAssignment(t *testing.T) {
+	ts := TaskSet{
+		{ID: "slow", Period: ms(300), WCET: ms(10)},
+		{ID: "fast", Period: ms(50), WCET: ms(5)},
+		{ID: "mid", Period: ms(100), WCET: ms(10), Deadline: ms(30)},
+	}
+	rm := AssignRM(ts)
+	fast, _ := rm.Find("fast")
+	if fast.Priority != 1 {
+		t.Fatalf("RM: fast priority = %d, want 1", fast.Priority)
+	}
+	dm := AssignDM(ts)
+	mid, _ := dm.Find("mid")
+	if mid.Priority != 1 {
+		t.Fatalf("DM: mid (D=30ms) priority = %d, want 1", mid.Priority)
+	}
+}
+
+func TestTaskValidation(t *testing.T) {
+	bad := []Task{
+		{ID: "", Period: ms(10), WCET: ms(1)},
+		{ID: "x", Period: 0, WCET: ms(1)},
+		{ID: "x", Period: ms(10), WCET: 0},
+		{ID: "x", Period: ms(10), WCET: ms(20)},
+		{ID: "x", Period: ms(10), WCET: ms(5), Deadline: ms(2)},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("case %d: invalid task accepted: %+v", i, b)
+		}
+	}
+	dup := TaskSet{
+		{ID: "x", Period: ms(10), WCET: ms(1)},
+		{ID: "x", Period: ms(20), WCET: ms(1)},
+	}
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate IDs accepted")
+	}
+}
+
+func TestTaskSetHelpers(t *testing.T) {
+	ts := TaskSet{
+		{ID: "a", Period: ms(10), WCET: ms(2)},
+		{ID: "b", Period: ms(20), WCET: ms(4)},
+	}
+	if u := ts.Utilization(); math.Abs(u-0.4) > 1e-9 {
+		t.Fatalf("utilization = %f", u)
+	}
+	if _, ok := ts.Find("b"); !ok {
+		t.Fatal("Find failed")
+	}
+	less := ts.Without("a")
+	if len(less) != 1 || less[0].ID != "b" {
+		t.Fatalf("Without = %+v", less)
+	}
+}

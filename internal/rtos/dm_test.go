@@ -1,0 +1,58 @@
+package rtos
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDMSchedulesWhatRMCannot(t *testing.T) {
+	// Classic result: with constrained deadlines, deadline-monotonic
+	// priority ordering is optimal among fixed-priority assignments.
+	// Task b has a long period but a tight deadline; RM gives it low
+	// priority and it misses, DM gives it top priority and all fits.
+	ts := TaskSet{
+		{ID: "a", Period: ms(50), WCET: ms(25)},
+		{ID: "b", Period: ms(1000), WCET: ms(20), Deadline: ms(30)},
+	}
+	rm := AssignRM(ts)
+	if SchedulableRTA(rm) {
+		t.Fatal("RM unexpectedly schedulable — test premise broken")
+	}
+	dm := AssignDM(ts)
+	if !SchedulableRTA(dm) {
+		t.Fatal("DM failed to schedule a DM-feasible set")
+	}
+}
+
+func TestDMSimulationConfirmsAnalysis(t *testing.T) {
+	ts := AssignDM(TaskSet{
+		{ID: "a", Period: ms(50), WCET: ms(25)},
+		{ID: "b", Period: ms(1000), WCET: ms(20), Deadline: ms(30)},
+	})
+	eng, ex := newExec(t, ts)
+	ex.Start()
+	_ = eng.RunUntil(5 * time.Second)
+	for _, id := range []TaskID{"a", "b"} {
+		if m := ex.Stats(id).DeadlineMiss; m != 0 {
+			t.Fatalf("task %s missed %d deadlines under DM", id, m)
+		}
+	}
+}
+
+func TestRMOptimalForImplicitDeadlines(t *testing.T) {
+	// For implicit deadlines RM and DM coincide.
+	ts := TaskSet{
+		{ID: "x", Period: ms(100), WCET: ms(10)},
+		{ID: "y", Period: ms(40), WCET: ms(10)},
+		{ID: "z", Period: ms(250), WCET: ms(30)},
+	}
+	rm := AssignRM(ts)
+	dm := AssignDM(ts)
+	for _, task := range ts {
+		a, _ := rm.Find(task.ID)
+		b, _ := dm.Find(task.ID)
+		if a.Priority != b.Priority {
+			t.Fatalf("RM and DM disagree on %s with implicit deadlines", task.ID)
+		}
+	}
+}

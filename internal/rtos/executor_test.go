@@ -1,0 +1,256 @@
+package rtos
+
+import (
+	"testing"
+	"time"
+
+	"evm/internal/sim"
+)
+
+func newExec(t *testing.T, ts TaskSet) (*sim.Engine, *Executor) {
+	t.Helper()
+	eng := sim.New()
+	ex, err := NewExecutor(eng, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, ex
+}
+
+func TestExecutorSingleTaskMeetsDeadlines(t *testing.T) {
+	eng, ex := newExec(t, AssignRM(TaskSet{{ID: "a", Period: ms(100), WCET: ms(20)}}))
+	ex.Start()
+	_ = eng.RunUntil(time.Second)
+	st := ex.Stats("a")
+	if st.Released != 10 {
+		t.Fatalf("released %d, want 10", st.Released)
+	}
+	if st.Completed != 10 || st.DeadlineMiss != 0 {
+		t.Fatalf("completed %d misses %d", st.Completed, st.DeadlineMiss)
+	}
+	if st.MaxResponse != ms(20) {
+		t.Fatalf("max response %v, want 20ms (no contention)", st.MaxResponse)
+	}
+}
+
+func TestExecutorPreemption(t *testing.T) {
+	// Low-prio long task gets preempted by high-prio short task; both
+	// meet deadlines and the preemption is counted.
+	ts := AssignRM(TaskSet{
+		{ID: "hi", Period: ms(50), WCET: ms(10), Phase: ms(5)},
+		{ID: "lo", Period: ms(200), WCET: ms(40)},
+	})
+	eng, ex := newExec(t, ts)
+	ex.Start()
+	_ = eng.RunUntil(400 * time.Millisecond)
+	lo := ex.Stats("lo")
+	hi := ex.Stats("hi")
+	if hi.DeadlineMiss != 0 || lo.DeadlineMiss != 0 {
+		t.Fatalf("misses hi=%d lo=%d", hi.DeadlineMiss, lo.DeadlineMiss)
+	}
+	if lo.Preemptions == 0 {
+		t.Fatal("no preemption recorded for lo")
+	}
+	// lo runs 40ms but is interrupted by hi's 10ms job at t=5:
+	// response = 50ms.
+	if lo.MaxResponse != ms(50) {
+		t.Fatalf("lo max response = %v, want 50ms", lo.MaxResponse)
+	}
+	if hi.MaxResponse != ms(10) {
+		t.Fatalf("hi max response = %v, want 10ms", hi.MaxResponse)
+	}
+}
+
+func TestExecutorResponseMatchesRTA(t *testing.T) {
+	// The simulated worst-case response must equal analysis for a
+	// synchronous release (critical instant).
+	ts := AssignRM(TaskSet{
+		{ID: "t1", Period: ms(50), WCET: ms(10)},
+		{ID: "t2", Period: ms(80), WCET: ms(20)},
+		{ID: "t3", Period: ms(100), WCET: ms(30)},
+	})
+	eng, ex := newExec(t, ts)
+	ex.Start()
+	_ = eng.RunUntil(2 * time.Second)
+	for _, id := range []TaskID{"t1", "t2", "t3"} {
+		want, ok := ResponseTime(ts, id)
+		if !ok {
+			t.Fatalf("analysis says %s unschedulable", id)
+		}
+		got := ex.Stats(id).MaxResponse
+		if got != want {
+			t.Fatalf("%s: simulated max response %v != RTA %v", id, got, want)
+		}
+	}
+}
+
+func TestExecutorOverloadMisses(t *testing.T) {
+	ts := AssignRM(TaskSet{
+		{ID: "a", Period: ms(100), WCET: ms(70)},
+		{ID: "b", Period: ms(100), WCET: ms(60)},
+	})
+	eng, ex := newExec(t, ts)
+	ex.Start()
+	_ = eng.RunUntil(time.Second)
+	if ex.Stats("b").DeadlineMiss == 0 {
+		t.Fatal("overloaded low-priority task missed no deadlines")
+	}
+}
+
+func TestExecutorAddTaskRuntime(t *testing.T) {
+	eng, ex := newExec(t, AssignRM(TaskSet{{ID: "a", Period: ms(100), WCET: ms(20)}}))
+	ex.Start()
+	_ = eng.RunUntil(200 * time.Millisecond)
+	if err := ex.AddTask(Task{ID: "b", Period: ms(50), WCET: ms(10)}, TestRTA); err != nil {
+		t.Fatal(err)
+	}
+	_ = eng.RunUntil(time.Second)
+	if ex.Stats("b").Completed == 0 {
+		t.Fatal("runtime-admitted task never ran")
+	}
+	if ex.Stats("b").DeadlineMiss != 0 || ex.Stats("a").DeadlineMiss != 0 {
+		t.Fatal("admission produced deadline misses")
+	}
+	// Infeasible addition must be rejected.
+	if err := ex.AddTask(Task{ID: "c", Period: ms(100), WCET: ms(90)}, TestRTA); err == nil {
+		t.Fatal("infeasible task admitted")
+	}
+}
+
+func TestExecutorRemoveTask(t *testing.T) {
+	ts := AssignRM(TaskSet{
+		{ID: "a", Period: ms(100), WCET: ms(20)},
+		{ID: "b", Period: ms(50), WCET: ms(10)},
+	})
+	eng, ex := newExec(t, ts)
+	ex.Start()
+	_ = eng.RunUntil(200 * time.Millisecond)
+	before := ex.Stats("b").Released
+	ex.RemoveTask("b")
+	_ = eng.RunUntil(time.Second)
+	if got := ex.Stats("b").Released; got != before {
+		t.Fatalf("removed task still releasing (%d -> %d)", before, got)
+	}
+	if len(ex.Tasks()) != 1 {
+		t.Fatalf("task set size = %d, want 1", len(ex.Tasks()))
+	}
+}
+
+func TestCPUReservationThrottles(t *testing.T) {
+	// One task with WCET 40ms/100ms but a CPU budget of only 20ms/100ms:
+	// jobs are throttled and complete late.
+	ts := AssignRM(TaskSet{{ID: "a", Period: ms(100), WCET: ms(40)}})
+	eng, ex := newExec(t, ts)
+	if err := ex.Reserves().Set("a", Reservation{Kind: ResourceCPU, Budget: 0.020, Period: ms(100)}, 0); err != nil {
+		t.Fatal(err)
+	}
+	ex.Start()
+	_ = eng.RunUntil(time.Second)
+	st := ex.Stats("a")
+	if st.Throttled == 0 {
+		t.Fatal("reservation never throttled the task")
+	}
+	if st.DeadlineMiss == 0 {
+		t.Fatal("throttled task should miss deadlines (40ms demand vs 20ms budget)")
+	}
+}
+
+func TestCPUReservationIsolation(t *testing.T) {
+	// A misbehaving high-priority task with a reservation cannot starve a
+	// low-priority task: enforcement caps its CPU share.
+	ts := TaskSet{
+		{ID: "rogue", Period: ms(100), WCET: ms(90), Priority: 1},
+		{ID: "victim", Period: ms(100), WCET: ms(20), Priority: 2},
+	}
+	eng, ex := newExec(t, ts)
+	if err := ex.Reserves().Set("rogue", Reservation{Kind: ResourceCPU, Budget: 0.030, Period: ms(100)}, 0); err != nil {
+		t.Fatal(err)
+	}
+	ex.Start()
+	_ = eng.RunUntil(time.Second)
+	victim := ex.Stats("victim")
+	if victim.Completed == 0 {
+		t.Fatal("victim starved despite reservation enforcement")
+	}
+	if victim.DeadlineMiss != 0 {
+		t.Fatalf("victim missed %d deadlines", victim.DeadlineMiss)
+	}
+}
+
+func TestExecTimeJitter(t *testing.T) {
+	ts := AssignRM(TaskSet{{ID: "a", Period: ms(100), WCET: ms(50)}})
+	eng, ex := newExec(t, ts)
+	rng := sim.NewRNG(3)
+	ex.SetExecTime("a", func() time.Duration {
+		return ms(10 + rng.Intn(40))
+	})
+	ex.Start()
+	_ = eng.RunUntil(time.Second)
+	st := ex.Stats("a")
+	if st.Completed != 10 {
+		t.Fatalf("completed %d", st.Completed)
+	}
+	if st.MaxResponse > ms(50) {
+		t.Fatalf("jittered exec exceeded WCET: %v", st.MaxResponse)
+	}
+	if st.MaxResponse == st.AvgResponse() {
+		t.Fatal("no jitter observed")
+	}
+}
+
+func TestReservationWindowReplenishes(t *testing.T) {
+	rs := NewReserveState(Reservation{Kind: ResourceCPU, Budget: 10, Period: ms(100)}, 0)
+	if !rs.TryConsume(0, 8) {
+		t.Fatal("initial consume failed")
+	}
+	if rs.TryConsume(ms(50), 5) {
+		t.Fatal("over-budget consume succeeded")
+	}
+	if rs.Overruns != 1 {
+		t.Fatalf("overruns = %d", rs.Overruns)
+	}
+	if !rs.TryConsume(ms(100), 5) {
+		t.Fatal("consume after replenish failed")
+	}
+	if got := rs.Remaining(ms(150)); got != 5 {
+		t.Fatalf("remaining = %f, want 5", got)
+	}
+}
+
+func TestReservationTable(t *testing.T) {
+	rt := NewReservationTable()
+	if err := rt.Set("a", Reservation{Kind: ResourceCPU, Budget: 0.02, Period: ms(100)}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Set("a", Reservation{Kind: ResourceNetwork, Budget: 2, Period: ms(250)}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Get("a", ResourceCPU) == nil || rt.Get("a", ResourceNetwork) == nil {
+		t.Fatal("reservations missing")
+	}
+	if rt.Get("a", ResourceEnergy) != nil {
+		t.Fatal("phantom reservation")
+	}
+	if f := rt.TotalCPUFraction(); f < 0.19 || f > 0.21 {
+		t.Fatalf("cpu fraction = %f, want 0.2", f)
+	}
+	rt.Remove("a")
+	if rt.Get("a", ResourceCPU) != nil {
+		t.Fatal("remove failed")
+	}
+	if err := rt.Set("b", Reservation{Kind: ResourceCPU, Budget: -1, Period: ms(10)}, 0); err == nil {
+		t.Fatal("invalid reservation accepted")
+	}
+}
+
+func TestExecutorStop(t *testing.T) {
+	eng, ex := newExec(t, AssignRM(TaskSet{{ID: "a", Period: ms(10), WCET: ms(1)}}))
+	ex.Start()
+	_ = eng.RunUntil(50 * time.Millisecond)
+	ex.Stop()
+	before := ex.Stats("a").Released
+	_ = eng.RunUntil(100 * time.Millisecond)
+	if ex.Stats("a").Released != before {
+		t.Fatal("stopped executor kept releasing")
+	}
+}

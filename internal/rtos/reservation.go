@@ -1,0 +1,152 @@
+package rtos
+
+import (
+	"fmt"
+	"time"
+)
+
+// ResourceKind names a reservable resource, mirroring nano-RK's CPU,
+// network and virtual-energy reserves.
+type ResourceKind int
+
+// Reservable resources.
+const (
+	ResourceCPU ResourceKind = iota + 1
+	ResourceNetwork
+	ResourceEnergy
+)
+
+// String implements fmt.Stringer.
+func (k ResourceKind) String() string {
+	switch k {
+	case ResourceCPU:
+		return "cpu"
+	case ResourceNetwork:
+		return "network"
+	case ResourceEnergy:
+		return "energy"
+	default:
+		return fmt.Sprintf("resource(%d)", int(k))
+	}
+}
+
+// Reservation is a budget that replenishes every period: CPU time per
+// period, network slots per frame, or millijoules per period.
+type Reservation struct {
+	Kind   ResourceKind
+	Budget float64 // units: seconds (CPU), slots (network), mJ (energy)
+	Period time.Duration
+}
+
+// Validate checks reservation sanity.
+func (r Reservation) Validate() error {
+	if r.Kind < ResourceCPU || r.Kind > ResourceEnergy {
+		return fmt.Errorf("rtos: reservation kind %d", r.Kind)
+	}
+	if r.Budget <= 0 || r.Period <= 0 {
+		return fmt.Errorf("rtos: reservation %v budget %f period %v", r.Kind, r.Budget, r.Period)
+	}
+	return nil
+}
+
+// ReserveState tracks runtime consumption against a reservation.
+type ReserveState struct {
+	Res       Reservation
+	consumed  float64
+	windowEnd time.Duration
+	// Overruns counts attempts to consume past the budget.
+	Overruns int
+}
+
+// NewReserveState creates state starting its first window at now.
+func NewReserveState(res Reservation, now time.Duration) *ReserveState {
+	return &ReserveState{Res: res, windowEnd: now + res.Period}
+}
+
+// advance rolls the replenishment window forward to cover now.
+func (s *ReserveState) advance(now time.Duration) {
+	for now >= s.windowEnd {
+		s.windowEnd += s.Res.Period
+		s.consumed = 0
+	}
+}
+
+// TryConsume consumes amount at virtual time now if budget remains,
+// returning false (and counting an overrun) on enforcement.
+func (s *ReserveState) TryConsume(now time.Duration, amount float64) bool {
+	s.advance(now)
+	if s.consumed+amount > s.Res.Budget {
+		s.Overruns++
+		return false
+	}
+	s.consumed += amount
+	return true
+}
+
+// Remaining returns the budget left in the current window.
+func (s *ReserveState) Remaining(now time.Duration) float64 {
+	s.advance(now)
+	return s.Res.Budget - s.consumed
+}
+
+// NextReplenish returns when the current window ends.
+func (s *ReserveState) NextReplenish(now time.Duration) time.Duration {
+	s.advance(now)
+	return s.windowEnd
+}
+
+// ReservationTable holds all reservations on one node.
+type ReservationTable struct {
+	states map[TaskID]map[ResourceKind]*ReserveState
+}
+
+// NewReservationTable returns an empty table.
+func NewReservationTable() *ReservationTable {
+	return &ReservationTable{states: make(map[TaskID]map[ResourceKind]*ReserveState)}
+}
+
+// Set installs (or replaces) a reservation for a task.
+func (rt *ReservationTable) Set(id TaskID, res Reservation, now time.Duration) error {
+	if err := res.Validate(); err != nil {
+		return err
+	}
+	m, ok := rt.states[id]
+	if !ok {
+		m = make(map[ResourceKind]*ReserveState)
+		rt.states[id] = m
+	}
+	m[res.Kind] = NewReserveState(res, now)
+	return nil
+}
+
+// Get returns the reserve state for a task/resource, or nil.
+func (rt *ReservationTable) Get(id TaskID, kind ResourceKind) *ReserveState {
+	if m, ok := rt.states[id]; ok {
+		return m[kind]
+	}
+	return nil
+}
+
+// Remove drops all reservations for a task (e.g. after migration away).
+func (rt *ReservationTable) Remove(id TaskID) { delete(rt.states, id) }
+
+// Tasks returns the IDs with at least one reservation.
+func (rt *ReservationTable) Tasks() []TaskID {
+	out := make([]TaskID, 0, len(rt.states))
+	for id := range rt.states {
+		out = append(out, id)
+	}
+	return out
+}
+
+// TotalCPUFraction returns the sum of CPU budget/period fractions — the
+// CPU bandwidth promised to reservations.
+func (rt *ReservationTable) TotalCPUFraction() float64 {
+	var f float64
+	for _, m := range rt.states {
+		if s, ok := m[ResourceCPU]; ok {
+			f += s.Res.Budget / s.Res.Period.Seconds()
+		}
+	}
+	return f
+}

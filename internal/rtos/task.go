@@ -1,0 +1,166 @@
+// Package rtos models the nano-RK resource kernel the EVM runs on: a
+// fully-preemptive fixed-priority real-time task model with CPU, network
+// and energy reservations, classical schedulability analysis (Liu-Layland
+// utilization bound and exact response-time analysis), rate- and
+// deadline-monotonic priority assignment, and a discrete-event executor
+// that simulates preemptive scheduling on virtual time.
+//
+// The EVM (internal/core) uses this package for runtime admission control:
+// a migrated or replicated task is only activated on a node if the node's
+// task set remains schedulable (paper §3.1.1, operations 2-4).
+package rtos
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// TaskID names a task within a node.
+type TaskID string
+
+// Task is a periodic real-time task in the nano-RK sense.
+type Task struct {
+	ID       TaskID
+	Period   time.Duration
+	WCET     time.Duration // worst-case execution time per job
+	Deadline time.Duration // relative; 0 means implicit (= Period)
+	Phase    time.Duration // release offset of the first job
+	// Priority is the fixed scheduling priority; lower value = higher
+	// priority (nano-RK convention). Assign with AssignRM/AssignDM or
+	// set explicitly.
+	Priority int
+}
+
+// EffectiveDeadline returns the relative deadline (Period when implicit).
+func (t Task) EffectiveDeadline() time.Duration {
+	if t.Deadline > 0 {
+		return t.Deadline
+	}
+	return t.Period
+}
+
+// Utilization returns WCET/Period.
+func (t Task) Utilization() float64 {
+	if t.Period <= 0 {
+		return 0
+	}
+	return float64(t.WCET) / float64(t.Period)
+}
+
+// Validate checks task sanity.
+func (t Task) Validate() error {
+	if t.ID == "" {
+		return fmt.Errorf("rtos: task with empty ID")
+	}
+	if t.Period <= 0 {
+		return fmt.Errorf("rtos: task %s period %v", t.ID, t.Period)
+	}
+	if t.WCET <= 0 {
+		return fmt.Errorf("rtos: task %s wcet %v", t.ID, t.WCET)
+	}
+	if t.WCET > t.Period {
+		return fmt.Errorf("rtos: task %s wcet %v exceeds period %v", t.ID, t.WCET, t.Period)
+	}
+	if t.Deadline < 0 || (t.Deadline > 0 && t.Deadline < t.WCET) {
+		return fmt.Errorf("rtos: task %s deadline %v infeasible", t.ID, t.Deadline)
+	}
+	return nil
+}
+
+// TaskSet is a collection of tasks on one node.
+type TaskSet []Task
+
+// Validate checks every task and ID uniqueness.
+func (ts TaskSet) Validate() error {
+	seen := make(map[TaskID]bool, len(ts))
+	for _, t := range ts {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+		if seen[t.ID] {
+			return fmt.Errorf("rtos: duplicate task ID %s", t.ID)
+		}
+		seen[t.ID] = true
+	}
+	return nil
+}
+
+// Utilization returns the total CPU utilization of the set.
+func (ts TaskSet) Utilization() float64 {
+	var u float64
+	for _, t := range ts {
+		u += t.Utilization()
+	}
+	return u
+}
+
+// ByPriority returns a copy sorted by ascending priority value (highest
+// priority first), ties broken by shorter period then ID.
+func (ts TaskSet) ByPriority() TaskSet {
+	out := append(TaskSet(nil), ts...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Priority != out[j].Priority {
+			return out[i].Priority < out[j].Priority
+		}
+		if out[i].Period != out[j].Period {
+			return out[i].Period < out[j].Period
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Find returns the task with the given ID.
+func (ts TaskSet) Find(id TaskID) (Task, bool) {
+	for _, t := range ts {
+		if t.ID == id {
+			return t, true
+		}
+	}
+	return Task{}, false
+}
+
+// Without returns a copy of the set with the given task removed.
+func (ts TaskSet) Without(id TaskID) TaskSet {
+	out := make(TaskSet, 0, len(ts))
+	for _, t := range ts {
+		if t.ID != id {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// AssignRM assigns rate-monotonic priorities (shorter period = higher
+// priority). Returns a new set; priorities start at 1.
+func AssignRM(ts TaskSet) TaskSet {
+	out := append(TaskSet(nil), ts...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Period != out[j].Period {
+			return out[i].Period < out[j].Period
+		}
+		return out[i].ID < out[j].ID
+	})
+	for i := range out {
+		out[i].Priority = i + 1
+	}
+	return out
+}
+
+// AssignDM assigns deadline-monotonic priorities (shorter relative
+// deadline = higher priority).
+func AssignDM(ts TaskSet) TaskSet {
+	out := append(TaskSet(nil), ts...)
+	sort.Slice(out, func(i, j int) bool {
+		di, dj := out[i].EffectiveDeadline(), out[j].EffectiveDeadline()
+		if di != dj {
+			return di < dj
+		}
+		return out[i].ID < out[j].ID
+	})
+	for i := range out {
+		out[i].Priority = i + 1
+	}
+	return out
+}

@@ -1,0 +1,224 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All higher layers (radio medium, RT-Link TDMA, the nano-RK task model,
+// the EVM runtime and the gas-plant dynamics) run on the virtual clock
+// provided by Engine. Nothing in the repository sleeps on the wall clock;
+// every experiment is reproducible bit-for-bit from a PRNG seed.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"time"
+)
+
+// ErrHorizon is returned by RunUntil when the event queue drains before the
+// requested horizon is reached.
+var ErrHorizon = errors.New("sim: event queue drained before horizon")
+
+// Event is a scheduled callback on the virtual timeline. Events are created
+// through Engine.At / Engine.After and may be cancelled until they fire.
+type Event struct {
+	at       time.Duration
+	prio     int
+	seq      uint64
+	fn       func()
+	index    int // heap index, -1 once removed
+	canceled bool
+}
+
+// At reports the virtual time at which the event is (or was) scheduled.
+func (ev *Event) At() time.Duration { return ev.at }
+
+// Canceled reports whether Cancel was called on the event.
+func (ev *Event) Canceled() bool { return ev.canceled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].prio != h[j].prio {
+		return h[i].prio < h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(*Event)
+	if !ok {
+		return
+	}
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event scheduler over virtual time.
+// The zero value is not usable; construct with New.
+type Engine struct {
+	now     time.Duration
+	queue   eventHeap
+	seq     uint64
+	stopped bool
+}
+
+// New returns an engine with the virtual clock at zero.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Pending returns the number of events still queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// clamps to the current time (the event fires on the next Step).
+func (e *Engine) At(t time.Duration, fn func()) *Event {
+	return e.atPrio(t, 0, fn)
+}
+
+// AtPrio schedules fn at time t with an explicit tie-break priority; among
+// events at the same instant, lower prio fires first.
+func (e *Engine) AtPrio(t time.Duration, prio int, fn func()) *Event {
+	return e.atPrio(t, prio, fn)
+}
+
+// After schedules fn to run d after the current virtual time.
+func (e *Engine) After(d time.Duration, fn func()) *Event {
+	return e.atPrio(e.now+d, 0, fn)
+}
+
+func (e *Engine) atPrio(t time.Duration, prio int, fn func()) *Event {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	ev := &Event{at: t, prio: prio, seq: e.seq, fn: fn}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.canceled || ev.index < 0 {
+		if ev != nil {
+			ev.canceled = true
+		}
+		return
+	}
+	ev.canceled = true
+	heap.Remove(&e.queue, ev.index)
+}
+
+// Step fires the next event, advancing the clock to it. It returns false
+// when the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev, ok := heap.Pop(&e.queue).(*Event)
+		if !ok {
+			return false
+		}
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events until the virtual clock reaches horizon. Events
+// scheduled exactly at the horizon do not fire. The clock is left at the
+// horizon on success. If the queue drains early the clock is advanced to the
+// horizon and ErrHorizon is returned.
+func (e *Engine) RunUntil(horizon time.Duration) error {
+	for len(e.queue) > 0 {
+		next := e.queue[0]
+		if next.canceled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.at >= horizon {
+			e.now = horizon
+			return nil
+		}
+		e.Step()
+	}
+	e.now = horizon
+	return ErrHorizon
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// Ticker fires a callback at a fixed period until stopped.
+type Ticker struct {
+	eng    *Engine
+	period time.Duration
+	fn     func()
+	ev     *Event
+	stop   bool
+}
+
+// Every schedules fn to fire every period, first at now+period.
+// The returned Ticker must be stopped to release it.
+func (e *Engine) Every(period time.Duration, fn func()) *Ticker {
+	t := &Ticker{eng: e, period: period, fn: fn}
+	t.schedule()
+	return t
+}
+
+// EveryAt is like Every but fires first at the absolute time first.
+func (e *Engine) EveryAt(first, period time.Duration, fn func()) *Ticker {
+	t := &Ticker{eng: e, period: period, fn: fn}
+	t.ev = e.At(first, t.tick)
+	return t
+}
+
+func (t *Ticker) schedule() {
+	t.ev = t.eng.After(t.period, t.tick)
+}
+
+func (t *Ticker) tick() {
+	if t.stop {
+		return
+	}
+	t.fn()
+	if !t.stop {
+		t.schedule()
+	}
+}
+
+// Stop cancels the ticker; pending fires are removed.
+func (t *Ticker) Stop() {
+	t.stop = true
+	if t.ev != nil {
+		t.eng.Cancel(t.ev)
+	}
+}

@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSeriesAddAndAt(t *testing.T) {
+	var s Series
+	s.Add(time.Second, 1)
+	s.Add(2*time.Second, 2)
+	s.Add(3*time.Second, 3)
+	if v, ok := s.At(2500 * time.Millisecond); !ok || v != 2 {
+		t.Fatalf("At(2.5s) = %v,%v", v, ok)
+	}
+	if v, ok := s.At(3 * time.Second); !ok || v != 3 {
+		t.Fatalf("At(3s) = %v,%v", v, ok)
+	}
+	if _, ok := s.At(500 * time.Millisecond); ok {
+		t.Fatal("At before first sample should be false")
+	}
+}
+
+func TestSeriesWindow(t *testing.T) {
+	var s Series
+	for i := 0; i < 10; i++ {
+		s.Add(time.Duration(i)*time.Second, float64(i))
+	}
+	w := s.Window(3*time.Second, 6*time.Second)
+	if len(w) != 3 || w[0].V != 3 || w[2].V != 5 {
+		t.Fatalf("window = %v", w)
+	}
+}
+
+func TestRecorderCSV(t *testing.T) {
+	r := NewRecorder()
+	r.Series("level").Add(0, 50)
+	r.Series("level").Add(time.Second, 49)
+	r.Series("flow").Add(time.Second, 100)
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "t_seconds,level,flow" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 3 {
+		t.Fatalf("rows = %d, want 3", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "0.000,50.0000,") {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+	// flow has no sample at t=0 -> empty cell.
+	if !strings.HasSuffix(lines[1], ",") {
+		t.Fatalf("missing empty cell: %q", lines[1])
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	vals := []float64{5, 1, 4, 2, 3}
+	st := Summarize(vals)
+	if st.N != 5 || st.Min != 1 || st.Max != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if math.Abs(st.Mean-3) > 1e-9 {
+		t.Fatalf("mean = %f", st.Mean)
+	}
+	if st.P50 != 3 {
+		t.Fatalf("p50 = %f", st.P50)
+	}
+	if st.P99 != 5 {
+		t.Fatalf("p99 = %f", st.P99)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if st := Summarize(nil); st.N != 0 {
+		t.Fatal("empty stats not zero")
+	}
+}
+
+func TestDurationStats(t *testing.T) {
+	ds := []time.Duration{time.Millisecond, 3 * time.Millisecond, 2 * time.Millisecond}
+	st := DurationStats(ds)
+	if st.Max != float64(3*time.Millisecond) {
+		t.Fatalf("max = %f", st.Max)
+	}
+}
+
+func TestRecorderNamesOrder(t *testing.T) {
+	r := NewRecorder()
+	r.Series("b")
+	r.Series("a")
+	r.Series("b") // existing
+	names := r.Names()
+	if len(names) != 2 || names[0] != "b" || names[1] != "a" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	if p := percentile(sorted, 0.5); p != 50 {
+		t.Fatalf("p50 = %f", p)
+	}
+	if p := percentile(sorted, 0.95); p != 100 {
+		t.Fatalf("p95 = %f", p)
+	}
+	if p := percentile(sorted, 0.01); p != 10 {
+		t.Fatalf("p1 = %f", p)
+	}
+}

@@ -1,0 +1,223 @@
+package vm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// mnemonics maps assembler names to opcodes for argument-less ops.
+var mnemonics = map[string]Op{
+	"NOP": OpNop, "HALT": OpHalt, "DUP": OpDup, "DROP": OpDrop,
+	"SWAP": OpSwap, "OVER": OpOver, "ROT": OpRot,
+	"ADD": OpAdd, "SUB": OpSub, "MUL": OpMul, "DIV": OpDiv, "MOD": OpMod,
+	"NEG": OpNeg, "ABS": OpAbs, "MIN": OpMin, "MAX": OpMax,
+	"EQ": OpEq, "LT": OpLt, "GT": OpGt,
+	"AND": OpAnd, "OR": OpOr, "NOT": OpNot,
+	"LOAD": OpLoad, "STORE": OpStore, "RET": OpRet,
+	"MULQ": OpMulQ, "DIVQ": OpDivQ,
+}
+
+// opNames is the reverse mapping for the disassembler.
+var opNames = buildOpNames()
+
+func buildOpNames() map[Op]string {
+	m := make(map[Op]string, len(mnemonics)+6)
+	for name, op := range mnemonics {
+		m[op] = name
+	}
+	m[OpPush8] = "PUSH"
+	m[OpPush64] = "PUSH"
+	m[OpJmp] = "JMP"
+	m[OpJz] = "JZ"
+	m[OpCall] = "CALL"
+	m[OpIn] = "IN"
+	m[OpOut] = "OUT"
+	return m
+}
+
+// Assemble translates assembler text into byte code. Syntax: one
+// instruction per line; "name:" defines a label; ";" starts a comment;
+// PUSH takes an integer literal, PUSHQ a decimal Q16.16 literal; JMP, JZ
+// and CALL take a label; IN and OUT take a port number.
+func Assemble(src string) ([]byte, error) {
+	type pending struct {
+		label string
+		pos   int // offset of the 2-byte operand
+		line  int
+	}
+	labels := make(map[string]int)
+	var out []byte
+	var fixups []pending
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasSuffix(line, ":") {
+			name := strings.TrimSuffix(line, ":")
+			if name == "" {
+				return nil, fmt.Errorf("vm: line %d: empty label", lineNo+1)
+			}
+			if _, dup := labels[name]; dup {
+				return nil, fmt.Errorf("vm: line %d: duplicate label %q", lineNo+1, name)
+			}
+			labels[name] = len(out)
+			continue
+		}
+		fields := strings.Fields(line)
+		mnem := strings.ToUpper(fields[0])
+		arg := ""
+		if len(fields) > 1 {
+			arg = fields[1]
+		}
+		if len(fields) > 2 {
+			return nil, fmt.Errorf("vm: line %d: too many operands", lineNo+1)
+		}
+		switch mnem {
+		case "PUSH", "PUSHQ":
+			if arg == "" {
+				return nil, fmt.Errorf("vm: line %d: %s needs a literal", lineNo+1, mnem)
+			}
+			var v int64
+			if mnem == "PUSHQ" {
+				f, err := strconv.ParseFloat(arg, 64)
+				if err != nil {
+					return nil, fmt.Errorf("vm: line %d: bad literal %q", lineNo+1, arg)
+				}
+				v = ToQ(f)
+			} else {
+				parsed, err := strconv.ParseInt(arg, 0, 64)
+				if err != nil {
+					return nil, fmt.Errorf("vm: line %d: bad literal %q", lineNo+1, arg)
+				}
+				v = parsed
+			}
+			if v >= -128 && v <= 127 {
+				out = append(out, byte(OpPush8), byte(int8(v)))
+			} else {
+				out = append(out, byte(OpPush64))
+				for shift := 56; shift >= 0; shift -= 8 {
+					out = append(out, byte(uint64(v)>>uint(shift)))
+				}
+			}
+		case "JMP", "JZ", "CALL":
+			if arg == "" {
+				return nil, fmt.Errorf("vm: line %d: %s needs a label", lineNo+1, mnem)
+			}
+			var op Op
+			switch mnem {
+			case "JMP":
+				op = OpJmp
+			case "JZ":
+				op = OpJz
+			default:
+				op = OpCall
+			}
+			out = append(out, byte(op))
+			fixups = append(fixups, pending{label: arg, pos: len(out), line: lineNo + 1})
+			out = append(out, 0, 0)
+		case "IN", "OUT":
+			if arg == "" {
+				return nil, fmt.Errorf("vm: line %d: %s needs a port", lineNo+1, mnem)
+			}
+			port, err := strconv.ParseUint(arg, 0, 8)
+			if err != nil {
+				return nil, fmt.Errorf("vm: line %d: bad port %q", lineNo+1, arg)
+			}
+			if mnem == "IN" {
+				out = append(out, byte(OpIn), byte(port))
+			} else {
+				out = append(out, byte(OpOut), byte(port))
+			}
+		default:
+			op, ok := mnemonics[mnem]
+			if !ok {
+				return nil, fmt.Errorf("vm: line %d: unknown mnemonic %q", lineNo+1, mnem)
+			}
+			if arg != "" {
+				return nil, fmt.Errorf("vm: line %d: %s takes no operand", lineNo+1, mnem)
+			}
+			out = append(out, byte(op))
+		}
+	}
+	for _, fx := range fixups {
+		tgt, ok := labels[fx.label]
+		if !ok {
+			return nil, fmt.Errorf("vm: line %d: undefined label %q", fx.line, fx.label)
+		}
+		if tgt > 0xFFFF {
+			return nil, fmt.Errorf("vm: label %q target %d exceeds 16 bits", fx.label, tgt)
+		}
+		out[fx.pos] = byte(tgt >> 8)
+		out[fx.pos+1] = byte(tgt)
+	}
+	return out, nil
+}
+
+// Disassemble renders byte code as one instruction per line with byte
+// offsets; jump targets are shown as absolute offsets.
+func Disassemble(code []byte) string {
+	var sb strings.Builder
+	pc := 0
+	for pc < len(code) {
+		fmt.Fprintf(&sb, "%04d  ", pc)
+		op := Op(code[pc])
+		pc++
+		name, ok := opNames[op]
+		if !ok {
+			if op >= ExtBase {
+				fmt.Fprintf(&sb, "EXT(%#x)\n", byte(op))
+			} else {
+				fmt.Fprintf(&sb, "??(%#x)\n", byte(op))
+			}
+			continue
+		}
+		switch op {
+		case OpPush8:
+			if pc < len(code) {
+				fmt.Fprintf(&sb, "%s %d\n", name, int8(code[pc]))
+				pc++
+			} else {
+				sb.WriteString("PUSH <truncated>\n")
+			}
+		case OpPush64:
+			if pc+8 <= len(code) {
+				var v uint64
+				for i := 0; i < 8; i++ {
+					v = v<<8 | uint64(code[pc+i])
+				}
+				fmt.Fprintf(&sb, "%s %d\n", name, int64(v))
+				pc += 8
+			} else {
+				sb.WriteString("PUSH <truncated>\n")
+				pc = len(code)
+			}
+		case OpJmp, OpJz, OpCall:
+			if pc+2 <= len(code) {
+				tgt := int(code[pc])<<8 | int(code[pc+1])
+				fmt.Fprintf(&sb, "%s %04d\n", name, tgt)
+				pc += 2
+			} else {
+				fmt.Fprintf(&sb, "%s <truncated>\n", name)
+				pc = len(code)
+			}
+		case OpIn, OpOut:
+			if pc < len(code) {
+				fmt.Fprintf(&sb, "%s %d\n", name, code[pc])
+				pc++
+			} else {
+				fmt.Fprintf(&sb, "%s <truncated>\n", name)
+			}
+		default:
+			sb.WriteString(name)
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}

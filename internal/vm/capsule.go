@@ -1,0 +1,84 @@
+package vm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+)
+
+// Capsule is the unit of code distribution between nodes: a named program
+// plus an integrity checksum. Receiving nodes run Verify (the paper's
+// "software attestation", §3.1.1 op 8) before admitting the code.
+type Capsule struct {
+	TaskID  string
+	Version uint8
+	Code    []byte
+}
+
+const capsuleMagic = 0x4556 // "EV"
+
+// Capsule errors.
+var (
+	ErrBadCapsule  = errors.New("vm: malformed capsule")
+	ErrAttestation = errors.New("vm: capsule attestation failed")
+)
+
+// checksum computes the FNV-64a attestation digest over the header+code.
+func (c *Capsule) checksum() uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(c.TaskID))
+	_, _ = h.Write([]byte{c.Version})
+	_, _ = h.Write(c.Code)
+	return h.Sum64()
+}
+
+// Encode serializes the capsule with its attestation digest appended.
+func (c *Capsule) Encode() ([]byte, error) {
+	if len(c.TaskID) > 255 {
+		return nil, fmt.Errorf("vm: task ID %q too long", c.TaskID)
+	}
+	if len(c.Code) > 1<<16 {
+		return nil, fmt.Errorf("vm: code of %d bytes exceeds 64KiB", len(c.Code))
+	}
+	out := make([]byte, 0, 2+1+1+len(c.TaskID)+4+len(c.Code)+8)
+	out = binary.BigEndian.AppendUint16(out, capsuleMagic)
+	out = append(out, c.Version, byte(len(c.TaskID)))
+	out = append(out, c.TaskID...)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(c.Code)))
+	out = append(out, c.Code...)
+	out = binary.BigEndian.AppendUint64(out, c.checksum())
+	return out, nil
+}
+
+// Decode parses and attests an encoded capsule. Corrupted capsules return
+// ErrAttestation (or ErrBadCapsule for structural damage).
+func Decode(b []byte) (Capsule, error) {
+	var c Capsule
+	if len(b) < 2+1+1+4+8 {
+		return c, ErrBadCapsule
+	}
+	if binary.BigEndian.Uint16(b[0:2]) != capsuleMagic {
+		return c, ErrBadCapsule
+	}
+	c.Version = b[2]
+	idLen := int(b[3])
+	off := 4
+	if off+idLen+4 > len(b) {
+		return c, ErrBadCapsule
+	}
+	c.TaskID = string(b[off : off+idLen])
+	off += idLen
+	codeLen := int(binary.BigEndian.Uint32(b[off:]))
+	off += 4
+	if off+codeLen+8 > len(b) {
+		return c, ErrBadCapsule
+	}
+	c.Code = append([]byte(nil), b[off:off+codeLen]...)
+	off += codeLen
+	want := binary.BigEndian.Uint64(b[off:])
+	if c.checksum() != want {
+		return Capsule{}, ErrAttestation
+	}
+	return c, nil
+}

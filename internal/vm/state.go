@@ -1,0 +1,127 @@
+package vm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// State is a portable snapshot of a running interpreter: the task control
+// state the EVM migrates between nodes (paper §4: "migration of the task
+// control block, stack, data and timing/precedence-related metadata").
+type State struct {
+	PC     int
+	Data   []int64
+	Ret    []int64
+	Mem    []int64
+	Halted bool
+}
+
+// Snapshot captures the interpreter's execution state.
+func (in *Interp) Snapshot() State {
+	return State{
+		PC:     in.pc,
+		Data:   append([]int64(nil), in.data...),
+		Ret:    append([]int64(nil), in.ret...),
+		Mem:    append([]int64(nil), in.mem...),
+		Halted: in.halted,
+	}
+}
+
+// Restore loads a snapshot into the interpreter. The code is unchanged;
+// the caller is responsible for pairing a snapshot with the capsule it
+// came from.
+func (in *Interp) Restore(st State) error {
+	if st.PC < 0 || st.PC > len(in.code) {
+		return fmt.Errorf("vm: restore pc %d out of range", st.PC)
+	}
+	if len(st.Data) > DefaultStackDepth || len(st.Ret) > DefaultStackDepth {
+		return ErrStackOverflow
+	}
+	in.pc = st.PC
+	in.data = append(in.data[:0], st.Data...)
+	in.ret = append(in.ret[:0], st.Ret...)
+	in.mem = append([]int64(nil), st.Mem...)
+	in.halted = st.Halted
+	return nil
+}
+
+const stateMagic = 0x45564d53 // "EVMS"
+
+var errBadState = errors.New("vm: malformed state encoding")
+
+// MarshalBinary encodes the state deterministically (used to size and
+// transfer migration payloads).
+func (st State) MarshalBinary() ([]byte, error) {
+	size := 4 + 4 + 1 + 4*3 + 8*(len(st.Data)+len(st.Ret)+len(st.Mem))
+	out := make([]byte, 0, size)
+	var scratch [8]byte
+	put32 := func(v uint32) {
+		binary.BigEndian.PutUint32(scratch[:4], v)
+		out = append(out, scratch[:4]...)
+	}
+	put64 := func(v uint64) {
+		binary.BigEndian.PutUint64(scratch[:8], v)
+		out = append(out, scratch[:8]...)
+	}
+	put32(stateMagic)
+	put32(uint32(st.PC))
+	if st.Halted {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	for _, sl := range [][]int64{st.Data, st.Ret, st.Mem} {
+		put32(uint32(len(sl)))
+		for _, v := range sl {
+			put64(uint64(v))
+		}
+	}
+	return out, nil
+}
+
+// UnmarshalBinary decodes a state produced by MarshalBinary.
+func (st *State) UnmarshalBinary(b []byte) error {
+	off := 0
+	get32 := func() (uint32, error) {
+		if off+4 > len(b) {
+			return 0, errBadState
+		}
+		v := binary.BigEndian.Uint32(b[off:])
+		off += 4
+		return v, nil
+	}
+	magic, err := get32()
+	if err != nil || magic != stateMagic {
+		return errBadState
+	}
+	pc, err := get32()
+	if err != nil {
+		return err
+	}
+	if off >= len(b) {
+		return errBadState
+	}
+	halted := b[off] == 1
+	off++
+	slices := make([][]int64, 3)
+	for i := range slices {
+		n, err := get32()
+		if err != nil {
+			return err
+		}
+		if n > 1<<20 || off+int(n)*8 > len(b) {
+			return errBadState
+		}
+		sl := make([]int64, n)
+		for j := range sl {
+			sl[j] = int64(binary.BigEndian.Uint64(b[off:]))
+			off += 8
+		}
+		slices[i] = sl
+	}
+	st.PC = int(pc)
+	st.Halted = halted
+	st.Data, st.Ret, st.Mem = slices[0], slices[1], slices[2]
+	return nil
+}

@@ -1,0 +1,481 @@
+package vm
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// testHost records OUT writes and serves IN reads from a map.
+type testHost struct {
+	inputs  map[uint8]int64
+	outputs map[uint8][]int64
+}
+
+func newTestHost() *testHost {
+	return &testHost{inputs: make(map[uint8]int64), outputs: make(map[uint8][]int64)}
+}
+
+func (h *testHost) In(port uint8) (int64, error) { return h.inputs[port], nil }
+
+func (h *testHost) Out(port uint8, v int64) error {
+	h.outputs[port] = append(h.outputs[port], v)
+	return nil
+}
+
+func mustAssemble(t *testing.T, src string) []byte {
+	t.Helper()
+	code, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return code
+}
+
+func run(t *testing.T, src string, host Host) *Interp {
+	t.Helper()
+	in := New(mustAssemble(t, src), host)
+	if err := in.Run(DefaultGas); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return in
+}
+
+func top(t *testing.T, in *Interp) int64 {
+	t.Helper()
+	v, err := in.Peek()
+	if err != nil {
+		t.Fatalf("peek: %v", err)
+	}
+	return v
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"PUSH 2\nPUSH 3\nADD\nHALT", 5},
+		{"PUSH 10\nPUSH 3\nSUB\nHALT", 7},
+		{"PUSH 4\nPUSH 5\nMUL\nHALT", 20},
+		{"PUSH 17\nPUSH 5\nDIV\nHALT", 3},
+		{"PUSH 17\nPUSH 5\nMOD\nHALT", 2},
+		{"PUSH 5\nNEG\nHALT", -5},
+		{"PUSH -9\nABS\nHALT", 9},
+		{"PUSH 3\nPUSH 8\nMIN\nHALT", 3},
+		{"PUSH 3\nPUSH 8\nMAX\nHALT", 8},
+		{"PUSH 4\nPUSH 4\nEQ\nHALT", 1},
+		{"PUSH 3\nPUSH 4\nLT\nHALT", 1},
+		{"PUSH 3\nPUSH 4\nGT\nHALT", 0},
+		{"PUSH 1\nPUSH 0\nAND\nHALT", 0},
+		{"PUSH 1\nPUSH 0\nOR\nHALT", 1},
+		{"PUSH 0\nNOT\nHALT", 1},
+	}
+	for _, c := range cases {
+		in := run(t, c.src, nil)
+		if got := top(t, in); got != c.want {
+			t.Errorf("%q = %d, want %d", c.src, got, c.want)
+		}
+	}
+}
+
+func TestStackManipulation(t *testing.T) {
+	in := run(t, "PUSH 1\nPUSH 2\nSWAP\nHALT", nil)
+	if top(t, in) != 1 {
+		t.Fatal("SWAP failed")
+	}
+	in = run(t, "PUSH 1\nPUSH 2\nOVER\nHALT", nil)
+	if top(t, in) != 1 {
+		t.Fatal("OVER failed")
+	}
+	in = run(t, "PUSH 1\nPUSH 2\nPUSH 3\nROT\nHALT", nil) // ( 1 2 3 -- 2 3 1 )
+	if top(t, in) != 1 {
+		t.Fatal("ROT failed")
+	}
+	in = run(t, "PUSH 7\nDUP\nADD\nHALT", nil)
+	if top(t, in) != 14 {
+		t.Fatal("DUP failed")
+	}
+}
+
+func TestPush64(t *testing.T) {
+	in := run(t, "PUSH 100000\nPUSH 3\nMUL\nHALT", nil)
+	if top(t, in) != 300000 {
+		t.Fatalf("PUSH64 path = %d", top(t, in))
+	}
+	in = run(t, "PUSH -100000\nHALT", nil)
+	if top(t, in) != -100000 {
+		t.Fatal("negative 64-bit literal")
+	}
+}
+
+func TestMemory(t *testing.T) {
+	in := run(t, "PUSH 42\nPUSH 7\nSTORE\nPUSH 7\nLOAD\nHALT", nil)
+	if top(t, in) != 42 {
+		t.Fatal("STORE/LOAD round trip failed")
+	}
+}
+
+func TestMemoryBounds(t *testing.T) {
+	in := New(mustAssemble(t, "PUSH 1\nPUSH 9999\nSTORE\nHALT"), nil)
+	if err := in.Run(DefaultGas); !errors.Is(err, ErrBadAddress) {
+		t.Fatalf("err = %v, want ErrBadAddress", err)
+	}
+}
+
+func TestLoopSumsToTen(t *testing.T) {
+	// sum = 0; for i = 5; i > 0; i-- { sum += ... }: compute 5+4+3+2+1.
+	src := `
+	PUSH 0      ; sum at mem[0]
+	PUSH 0
+	STORE
+	PUSH 5      ; i at mem[1]
+	PUSH 1
+	STORE
+loop:
+	PUSH 1
+	LOAD
+	JZ done
+	PUSH 0
+	LOAD
+	PUSH 1
+	LOAD
+	ADD
+	PUSH 0
+	STORE
+	PUSH 1
+	LOAD
+	PUSH 1
+	SUB
+	PUSH 1
+	STORE
+	JMP loop
+done:
+	PUSH 0
+	LOAD
+	HALT`
+	in := run(t, src, nil)
+	if got := top(t, in); got != 15 {
+		t.Fatalf("loop sum = %d, want 15", got)
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	src := `
+	PUSH 3
+	CALL double
+	PUSH 1
+	ADD
+	HALT
+double:
+	PUSH 2
+	MUL
+	RET`
+	in := run(t, src, nil)
+	if got := top(t, in); got != 7 {
+		t.Fatalf("call/ret = %d, want 7", got)
+	}
+}
+
+func TestHostIO(t *testing.T) {
+	h := newTestHost()
+	h.inputs[0] = 50
+	in := run(t, "IN 0\nPUSH 2\nMUL\nOUT 1\nHALT", h)
+	if in.Depth() != 0 {
+		t.Fatal("stack not consumed")
+	}
+	if len(h.outputs[1]) != 1 || h.outputs[1][0] != 100 {
+		t.Fatalf("outputs = %v", h.outputs)
+	}
+}
+
+func TestIOWithoutHost(t *testing.T) {
+	in := New(mustAssemble(t, "IN 0\nHALT"), nil)
+	if err := in.Run(DefaultGas); !errors.Is(err, ErrNoHost) {
+		t.Fatalf("err = %v, want ErrNoHost", err)
+	}
+}
+
+func TestFixedPoint(t *testing.T) {
+	in := run(t, "PUSHQ 1.5\nPUSHQ 2.5\nMULQ\nHALT", nil)
+	if got := FromQ(top(t, in)); math.Abs(got-3.75) > 0.001 {
+		t.Fatalf("1.5*2.5 = %f", got)
+	}
+	in = run(t, "PUSHQ 1.0\nPUSHQ 4.0\nDIVQ\nHALT", nil)
+	if got := FromQ(top(t, in)); math.Abs(got-0.25) > 0.001 {
+		t.Fatalf("1/4 = %f", got)
+	}
+}
+
+func TestDivByZero(t *testing.T) {
+	for _, src := range []string{"PUSH 1\nPUSH 0\nDIV\nHALT", "PUSH 1\nPUSH 0\nMOD\nHALT", "PUSHQ 1.0\nPUSH 0\nDIVQ\nHALT"} {
+		in := New(mustAssemble(t, src), nil)
+		if err := in.Run(DefaultGas); !errors.Is(err, ErrDivByZero) {
+			t.Fatalf("%q err = %v, want ErrDivByZero", src, err)
+		}
+	}
+}
+
+func TestGasExhaustion(t *testing.T) {
+	in := New(mustAssemble(t, "loop:\nJMP loop"), nil)
+	if err := in.Run(1000); !errors.Is(err, ErrGasExhausted) {
+		t.Fatalf("err = %v, want ErrGasExhausted", err)
+	}
+}
+
+func TestStackUnderflow(t *testing.T) {
+	in := New(mustAssemble(t, "ADD\nHALT"), nil)
+	if err := in.Run(10); !errors.Is(err, ErrStackUnderflow) {
+		t.Fatalf("err = %v, want underflow", err)
+	}
+}
+
+func TestStackOverflow(t *testing.T) {
+	src := "start:\nPUSH 1\nJMP start"
+	in := New(mustAssemble(t, src), nil)
+	if err := in.Run(10000); !errors.Is(err, ErrStackOverflow) {
+		t.Fatalf("err = %v, want overflow", err)
+	}
+}
+
+func TestRuntimeExtensionOpcode(t *testing.T) {
+	// The EVM's instruction set is extensible at runtime: register a
+	// custom "square" op and call it from byte code.
+	code := append(mustAssemble(t, "PUSH 9"), byte(ExtBase), byte(OpHalt))
+	in := New(code, nil)
+	err := in.RegisterOp(ExtBase, "SQUARE", func(i *Interp) error {
+		v, err := i.Pop()
+		if err != nil {
+			return err
+		}
+		return i.Push(v * v)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Run(DefaultGas); err != nil {
+		t.Fatal(err)
+	}
+	if got := top(t, in); got != 81 {
+		t.Fatalf("ext op = %d, want 81", got)
+	}
+	// Below ExtBase and duplicates rejected.
+	if err := in.RegisterOp(OpAdd, "X", nil); err == nil {
+		t.Fatal("low opcode registration accepted")
+	}
+	if err := in.RegisterOp(ExtBase, "DUP2", nil); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+}
+
+func TestUnknownOpcode(t *testing.T) {
+	in := New([]byte{byte(ExtBase + 5)}, nil)
+	if err := in.Run(10); !errors.Is(err, ErrUnknownOp) {
+		t.Fatalf("err = %v, want unknown op", err)
+	}
+}
+
+func TestResetPreservesMemory(t *testing.T) {
+	in := run(t, "PUSH 5\nPUSH 0\nSTORE\nHALT", nil)
+	in.Reset()
+	if in.Halted() {
+		t.Fatal("still halted after reset")
+	}
+	v, err := in.Mem(0)
+	if err != nil || v != 5 {
+		t.Fatalf("mem[0] = %d after reset, want 5", v)
+	}
+	// Re-running the same program works.
+	if err := in.Run(DefaultGas); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	src := "PUSH 1\nPUSH 2\nPUSH 3\nHALT"
+	in := New(mustAssemble(t, src), nil)
+	// Execute only two instructions, then snapshot mid-program.
+	if err := in.Run(2); !errors.Is(err, ErrGasExhausted) {
+		t.Fatalf("expected gas exhaustion, got %v", err)
+	}
+	_ = in.SetMem(3, 77)
+	snap := in.Snapshot()
+
+	// "Migrate": restore into a fresh interpreter with the same code.
+	dst := New(mustAssemble(t, src), nil)
+	if err := dst.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Run(DefaultGas); err != nil {
+		t.Fatal(err)
+	}
+	if got := top(t, dst); got != 3 {
+		t.Fatalf("resumed top = %d, want 3", got)
+	}
+	if dst.Depth() != 3 {
+		t.Fatalf("depth = %d, want 3", dst.Depth())
+	}
+	v, _ := dst.Mem(3)
+	if v != 77 {
+		t.Fatal("memory lost in migration")
+	}
+}
+
+func TestStateBinaryRoundTrip(t *testing.T) {
+	st := State{PC: 12, Data: []int64{1, -2, 3}, Ret: []int64{9}, Mem: []int64{0, 5}, Halted: true}
+	b, err := st.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got State
+	if err := got.UnmarshalBinary(b); err != nil {
+		t.Fatal(err)
+	}
+	if got.PC != 12 || !got.Halted || len(got.Data) != 3 || got.Data[1] != -2 ||
+		len(got.Ret) != 1 || got.Mem[1] != 5 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if err := got.UnmarshalBinary(b[:5]); err == nil {
+		t.Fatal("truncated state accepted")
+	}
+	b[0] ^= 0xFF
+	if err := got.UnmarshalBinary(b); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestStateMarshalProperty(t *testing.T) {
+	f := func(pc uint8, data []int64, mem []int64) bool {
+		st := State{PC: int(pc), Data: data, Mem: mem}
+		b, err := st.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var got State
+		if err := got.UnmarshalBinary(b); err != nil {
+			return false
+		}
+		if got.PC != st.PC || len(got.Data) != len(data) || len(got.Mem) != len(mem) {
+			return false
+		}
+		for i := range data {
+			if got.Data[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCapsuleRoundTrip(t *testing.T) {
+	code := mustAssemble(t, "PUSH 1\nHALT")
+	c := Capsule{TaskID: "lts-level-pid", Version: 3, Code: code}
+	enc, err := c.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TaskID != c.TaskID || got.Version != 3 || len(got.Code) != len(code) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestCapsuleAttestationDetectsCorruption(t *testing.T) {
+	c := Capsule{TaskID: "t", Version: 1, Code: mustAssemble(t, "PUSH 5\nHALT")}
+	enc, err := c.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip every byte position in turn: every single-bit-level corruption
+	// of the body must be caught.
+	caught := 0
+	for i := 2; i < len(enc); i++ {
+		bad := append([]byte(nil), enc...)
+		bad[i] ^= 0x01
+		if _, err := Decode(bad); err != nil {
+			caught++
+		}
+	}
+	if caught != len(enc)-2 {
+		t.Fatalf("caught %d corruptions of %d", caught, len(enc)-2)
+	}
+}
+
+func TestCapsuleStructuralErrors(t *testing.T) {
+	if _, err := Decode([]byte{1, 2, 3}); !errors.Is(err, ErrBadCapsule) {
+		t.Fatal("short capsule accepted")
+	}
+	long := Capsule{TaskID: strings.Repeat("x", 300)}
+	if _, err := long.Encode(); err == nil {
+		t.Fatal("oversize task ID accepted")
+	}
+}
+
+func TestAssemblerErrors(t *testing.T) {
+	bad := []string{
+		"BOGUS",
+		"PUSH",
+		"PUSH abc",
+		"JMP",          // missing label
+		"JMP nowhere",  // undefined label
+		"x:\nx:\nHALT", // duplicate label
+		"ADD 5",        // operand on no-operand op
+		"IN",           // missing port
+		"IN 300",       // port out of range
+		"PUSH 1 2",     // too many operands
+		":",            // empty label
+	}
+	for _, src := range bad {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("assembler accepted %q", src)
+		}
+	}
+}
+
+func TestDisassembleRoundTripish(t *testing.T) {
+	src := "PUSH 5\nPUSH 1000\nloop:\nDUP\nJZ end\nPUSH 1\nSUB\nJMP loop\nend:\nIN 2\nOUT 3\nHALT"
+	code := mustAssemble(t, src)
+	dis := Disassemble(code)
+	for _, want := range []string{"PUSH 5", "PUSH 1000", "JZ", "JMP", "IN 2", "OUT 3", "HALT"} {
+		if !strings.Contains(dis, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, dis)
+		}
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	src := `
+	; a comment line
+	PUSH 4   ; trailing comment
+
+	HALT`
+	in := run(t, src, nil)
+	if top(t, in) != 4 {
+		t.Fatal("comments broke assembly")
+	}
+}
+
+func TestHaltedRunReturnsError(t *testing.T) {
+	in := run(t, "HALT", nil)
+	if err := in.Run(10); !errors.Is(err, ErrHalted) {
+		t.Fatalf("err = %v, want ErrHalted", err)
+	}
+}
+
+func TestProgramFallsOffEndHalts(t *testing.T) {
+	in := New(mustAssemble(t, "PUSH 1"), nil)
+	if err := in.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if !in.Halted() {
+		t.Fatal("program end did not halt")
+	}
+}

@@ -1,0 +1,688 @@
+// Package wire defines the EVM's on-air message formats: the control,
+// data and fault communication exchanged inside a Virtual Component
+// (paper §3.1: "The EVM architecture defines explicit mechanisms for
+// control, data and fault communication within the virtual component").
+//
+// Encodings are hand-rolled fixed binary layouts so every message fits a
+// single RT-Link slot payload.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"evm/internal/rtlink"
+)
+
+// Message kinds carried over RT-Link.
+const (
+	KindSensor      rtlink.Kind = 10 // gateway -> all: sensor snapshot
+	KindActuate     rtlink.Kind = 11 // active controller -> gateway
+	KindHealth      rtlink.Kind = 12 // all -> all: health assessment
+	KindFaultReport rtlink.Kind = 13 // backup -> VC head
+	KindRoleChange  rtlink.Kind = 14 // head -> member
+	KindCapsule     rtlink.Kind = 15 // code migration
+	KindState       rtlink.Kind = 16 // task state migration
+	KindJoin        rtlink.Kind = 17 // new node -> head
+	KindAdmit       rtlink.Kind = 18 // head -> new node
+	KindModeChange  rtlink.Kind = 19 // head -> all: planned mode switch
+	KindMigrateCmd  rtlink.Kind = 20 // head -> holder: ship task to dest
+	KindStateSync   rtlink.Kind = 21 // primary -> backups: active state replication
+)
+
+// ErrTruncated is returned when a payload is shorter than its layout.
+var ErrTruncated = errors.New("wire: truncated message")
+
+// Role is a controller's role for one task (paper Fig. 6: Active, Backup,
+// Dormant; Indicator is the passive display mode the demoted primary
+// enters).
+type Role uint8
+
+// Roles.
+const (
+	RoleDormant Role = iota + 1
+	RoleBackup
+	RoleActive
+	RoleIndicator
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case RoleDormant:
+		return "dormant"
+	case RoleBackup:
+		return "backup"
+	case RoleActive:
+		return "active"
+	case RoleIndicator:
+		return "indicator"
+	default:
+		return fmt.Sprintf("role(%d)", uint8(r))
+	}
+}
+
+// FaultReason classifies a detected fault.
+type FaultReason uint8
+
+// Fault reasons.
+const (
+	FaultOutputDeviation FaultReason = iota + 1 // primary output diverges
+	FaultSilent                                 // no health heard
+	FaultEnergy                                 // battery below threshold
+)
+
+// String implements fmt.Stringer.
+func (f FaultReason) String() string {
+	switch f {
+	case FaultOutputDeviation:
+		return "output-deviation"
+	case FaultSilent:
+		return "silent"
+	case FaultEnergy:
+		return "energy"
+	default:
+		return fmt.Sprintf("fault(%d)", uint8(f))
+	}
+}
+
+// --- primitive helpers -----------------------------------------------------
+
+type writer struct{ buf []byte }
+
+func (w *writer) u8(v uint8)    { w.buf = append(w.buf, v) }
+func (w *writer) u16(v uint16)  { w.buf = binary.BigEndian.AppendUint16(w.buf, v) }
+func (w *writer) u32(v uint32)  { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64)  { w.buf = binary.BigEndian.AppendUint64(w.buf, v) }
+func (w *writer) f64(v float64) { w.u64(math.Float64bits(v)) }
+
+func (w *writer) str(s string) error {
+	if len(s) > 255 {
+		return fmt.Errorf("wire: string %q too long", s)
+	}
+	w.u8(uint8(len(s)))
+	w.buf = append(w.buf, s...)
+	return nil
+}
+
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) u8() (uint8, error) {
+	if r.off+1 > len(r.buf) {
+		return 0, ErrTruncated
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v, nil
+}
+
+func (r *reader) u16() (uint16, error) {
+	if r.off+2 > len(r.buf) {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint16(r.buf[r.off:])
+	r.off += 2
+	return v, nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	if r.off+4 > len(r.buf) {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	if r.off+8 > len(r.buf) {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *reader) f64() (float64, error) {
+	v, err := r.u64()
+	return math.Float64frombits(v), err
+}
+
+func (r *reader) str() (string, error) {
+	n, err := r.u8()
+	if err != nil {
+		return "", err
+	}
+	if r.off+int(n) > len(r.buf) {
+		return "", ErrTruncated
+	}
+	s := string(r.buf[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s, nil
+}
+
+// --- sensor snapshot ---------------------------------------------------------
+
+// SensorReading is one sensor port sample.
+type SensorReading struct {
+	Port  uint8
+	Value float64
+}
+
+// SensorSnapshot is a timestamped set of readings. The timestamp (global
+// virtual time at sampling) lets consumers enforce temporal-conditional
+// transfers: data older than the relation's MaxAge is discarded.
+type SensorSnapshot struct {
+	At       time.Duration
+	Readings []SensorReading
+}
+
+// Encode packs the snapshot.
+func (s SensorSnapshot) Encode() ([]byte, error) {
+	if len(s.Readings) > 255 {
+		return nil, fmt.Errorf("wire: %d readings exceed 255", len(s.Readings))
+	}
+	w := writer{buf: make([]byte, 0, 9+9*len(s.Readings))}
+	w.u64(uint64(s.At))
+	w.u8(uint8(len(s.Readings)))
+	for _, rd := range s.Readings {
+		w.u8(rd.Port)
+		w.f64(rd.Value)
+	}
+	return w.buf, nil
+}
+
+// EncodeSensors packs an un-timestamped snapshot (At = 0 means "age
+// unknown"; temporal checks treat it as fresh).
+func EncodeSensors(readings []SensorReading) ([]byte, error) {
+	return SensorSnapshot{Readings: readings}.Encode()
+}
+
+// DecodeSnapshot unpacks a sensor snapshot.
+func DecodeSnapshot(b []byte) (SensorSnapshot, error) {
+	r := reader{buf: b}
+	var s SensorSnapshot
+	at, err := r.u64()
+	if err != nil {
+		return s, err
+	}
+	s.At = time.Duration(at)
+	n, err := r.u8()
+	if err != nil {
+		return s, err
+	}
+	s.Readings = make([]SensorReading, 0, n)
+	for i := 0; i < int(n); i++ {
+		port, err := r.u8()
+		if err != nil {
+			return s, err
+		}
+		v, err := r.f64()
+		if err != nil {
+			return s, err
+		}
+		s.Readings = append(s.Readings, SensorReading{Port: port, Value: v})
+	}
+	return s, nil
+}
+
+// DecodeSensors unpacks just the readings of a snapshot.
+func DecodeSensors(b []byte) ([]SensorReading, error) {
+	s, err := DecodeSnapshot(b)
+	if err != nil {
+		return nil, err
+	}
+	return s.Readings, nil
+}
+
+// --- actuation ---------------------------------------------------------------
+
+// Actuate commands an actuator port.
+type Actuate struct {
+	Port  uint8
+	Value float64
+	// TaskID names the control task issuing the command (lets the
+	// gateway reject commands from non-active controllers).
+	TaskID string
+	Seq    uint32
+}
+
+// Encode packs the command.
+func (a Actuate) Encode() ([]byte, error) {
+	var w writer
+	w.u8(a.Port)
+	w.f64(a.Value)
+	w.u32(a.Seq)
+	if err := w.str(a.TaskID); err != nil {
+		return nil, err
+	}
+	return w.buf, nil
+}
+
+// DecodeActuate unpacks an actuation command.
+func DecodeActuate(b []byte) (Actuate, error) {
+	r := reader{buf: b}
+	var a Actuate
+	var err error
+	if a.Port, err = r.u8(); err != nil {
+		return a, err
+	}
+	if a.Value, err = r.f64(); err != nil {
+		return a, err
+	}
+	if a.Seq, err = r.u32(); err != nil {
+		return a, err
+	}
+	if a.TaskID, err = r.str(); err != nil {
+		return a, err
+	}
+	return a, nil
+}
+
+// --- health assessment ---------------------------------------------------------
+
+// Health is one task's health-assessment record: the controller's role
+// and latest computed output, which backups passively observe (§3.1.2).
+type Health struct {
+	Node    uint16
+	TaskID  string
+	Role    Role
+	Seq     uint32
+	Output  float64
+	HasOut  bool
+	Battery float64 // remaining fraction [0,1]
+}
+
+// HealthBundle aggregates all of one node's per-task health records into
+// a single frame so a node's per-cycle traffic stays within its slot
+// budget regardless of how many tasks it holds.
+type HealthBundle struct {
+	Node    uint16
+	Battery float64
+	Records []HealthRecord
+}
+
+// HealthRecord is one task's entry in a bundle.
+type HealthRecord struct {
+	TaskID string
+	Role   Role
+	Seq    uint32
+	Output float64
+	HasOut bool
+}
+
+// Encode packs the bundle.
+func (hb HealthBundle) Encode() ([]byte, error) {
+	if len(hb.Records) > 255 {
+		return nil, fmt.Errorf("wire: %d health records exceed 255", len(hb.Records))
+	}
+	var w writer
+	w.u16(hb.Node)
+	w.f64(hb.Battery)
+	w.u8(uint8(len(hb.Records)))
+	for _, rec := range hb.Records {
+		w.u8(uint8(rec.Role))
+		w.u32(rec.Seq)
+		if rec.HasOut {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+		w.f64(rec.Output)
+		if err := w.str(rec.TaskID); err != nil {
+			return nil, err
+		}
+	}
+	return w.buf, nil
+}
+
+// DecodeHealthBundle unpacks a bundle.
+func DecodeHealthBundle(b []byte) (HealthBundle, error) {
+	r := reader{buf: b}
+	var hb HealthBundle
+	var err error
+	if hb.Node, err = r.u16(); err != nil {
+		return hb, err
+	}
+	if hb.Battery, err = r.f64(); err != nil {
+		return hb, err
+	}
+	n, err := r.u8()
+	if err != nil {
+		return hb, err
+	}
+	hb.Records = make([]HealthRecord, 0, n)
+	for i := 0; i < int(n); i++ {
+		var rec HealthRecord
+		role, err := r.u8()
+		if err != nil {
+			return hb, err
+		}
+		rec.Role = Role(role)
+		if rec.Seq, err = r.u32(); err != nil {
+			return hb, err
+		}
+		hasOut, err := r.u8()
+		if err != nil {
+			return hb, err
+		}
+		rec.HasOut = hasOut == 1
+		if rec.Output, err = r.f64(); err != nil {
+			return hb, err
+		}
+		if rec.TaskID, err = r.str(); err != nil {
+			return hb, err
+		}
+		hb.Records = append(hb.Records, rec)
+	}
+	return hb, nil
+}
+
+// Encode packs the health record.
+func (h Health) Encode() ([]byte, error) {
+	var w writer
+	w.u16(h.Node)
+	w.u8(uint8(h.Role))
+	w.u32(h.Seq)
+	if h.HasOut {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	w.f64(h.Output)
+	w.f64(h.Battery)
+	if err := w.str(h.TaskID); err != nil {
+		return nil, err
+	}
+	return w.buf, nil
+}
+
+// DecodeHealth unpacks a health record.
+func DecodeHealth(b []byte) (Health, error) {
+	r := reader{buf: b}
+	var h Health
+	var err error
+	if h.Node, err = r.u16(); err != nil {
+		return h, err
+	}
+	role, err := r.u8()
+	if err != nil {
+		return h, err
+	}
+	h.Role = Role(role)
+	if h.Seq, err = r.u32(); err != nil {
+		return h, err
+	}
+	hasOut, err := r.u8()
+	if err != nil {
+		return h, err
+	}
+	h.HasOut = hasOut == 1
+	if h.Output, err = r.f64(); err != nil {
+		return h, err
+	}
+	if h.Battery, err = r.f64(); err != nil {
+		return h, err
+	}
+	if h.TaskID, err = r.str(); err != nil {
+		return h, err
+	}
+	return h, nil
+}
+
+// --- fault report ---------------------------------------------------------------
+
+// FaultReport is sent by a backup to the VC head when it determines the
+// primary's outputs are inappropriate (paper §4.2).
+type FaultReport struct {
+	Reporter  uint16
+	Suspect   uint16
+	TaskID    string
+	Reason    FaultReason
+	Deviation float64
+	Cycles    uint16 // consecutive deviating cycles observed
+}
+
+// Encode packs the report.
+func (f FaultReport) Encode() ([]byte, error) {
+	var w writer
+	w.u16(f.Reporter)
+	w.u16(f.Suspect)
+	w.u8(uint8(f.Reason))
+	w.f64(f.Deviation)
+	w.u16(f.Cycles)
+	if err := w.str(f.TaskID); err != nil {
+		return nil, err
+	}
+	return w.buf, nil
+}
+
+// DecodeFaultReport unpacks a report.
+func DecodeFaultReport(b []byte) (FaultReport, error) {
+	r := reader{buf: b}
+	var f FaultReport
+	var err error
+	if f.Reporter, err = r.u16(); err != nil {
+		return f, err
+	}
+	if f.Suspect, err = r.u16(); err != nil {
+		return f, err
+	}
+	reason, err := r.u8()
+	if err != nil {
+		return f, err
+	}
+	f.Reason = FaultReason(reason)
+	if f.Deviation, err = r.f64(); err != nil {
+		return f, err
+	}
+	if f.Cycles, err = r.u16(); err != nil {
+		return f, err
+	}
+	if f.TaskID, err = r.str(); err != nil {
+		return f, err
+	}
+	return f, nil
+}
+
+// --- role change ---------------------------------------------------------------
+
+// RoleChange is the head's arbitration decision: node takes the given
+// role for the task.
+type RoleChange struct {
+	Node   uint16
+	TaskID string
+	Role   Role
+	Seq    uint32
+}
+
+// Encode packs the role change.
+func (rc RoleChange) Encode() ([]byte, error) {
+	var w writer
+	w.u16(rc.Node)
+	w.u8(uint8(rc.Role))
+	w.u32(rc.Seq)
+	if err := w.str(rc.TaskID); err != nil {
+		return nil, err
+	}
+	return w.buf, nil
+}
+
+// DecodeRoleChange unpacks a role change.
+func DecodeRoleChange(b []byte) (RoleChange, error) {
+	r := reader{buf: b}
+	var rc RoleChange
+	var err error
+	if rc.Node, err = r.u16(); err != nil {
+		return rc, err
+	}
+	role, err := r.u8()
+	if err != nil {
+		return rc, err
+	}
+	rc.Role = Role(role)
+	if rc.Seq, err = r.u32(); err != nil {
+		return rc, err
+	}
+	if rc.TaskID, err = r.str(); err != nil {
+		return rc, err
+	}
+	return rc, nil
+}
+
+// --- migration ---------------------------------------------------------------
+
+// StateXfer carries a task's serialized execution state (TCB, stacks,
+// data and timing metadata) to the node taking the task over.
+type StateXfer struct {
+	TaskID string
+	Seq    uint32
+	Blob   []byte
+}
+
+// Encode packs the transfer.
+func (sx StateXfer) Encode() ([]byte, error) {
+	var w writer
+	w.u32(sx.Seq)
+	if err := w.str(sx.TaskID); err != nil {
+		return nil, err
+	}
+	w.u32(uint32(len(sx.Blob)))
+	w.buf = append(w.buf, sx.Blob...)
+	return w.buf, nil
+}
+
+// DecodeStateXfer unpacks a transfer.
+func DecodeStateXfer(b []byte) (StateXfer, error) {
+	r := reader{buf: b}
+	var sx StateXfer
+	var err error
+	if sx.Seq, err = r.u32(); err != nil {
+		return sx, err
+	}
+	if sx.TaskID, err = r.str(); err != nil {
+		return sx, err
+	}
+	n, err := r.u32()
+	if err != nil {
+		return sx, err
+	}
+	if r.off+int(n) > len(r.buf) {
+		return sx, ErrTruncated
+	}
+	sx.Blob = append([]byte(nil), r.buf[r.off:r.off+int(n)]...)
+	return sx, nil
+}
+
+// --- membership ---------------------------------------------------------------
+
+// Join announces a new node to the VC head with its spare capacity.
+type Join struct {
+	Node        uint16
+	CPUCapacity float64 // spare utilization [0,1]
+	Battery     float64 // remaining fraction [0,1]
+}
+
+// Encode packs the join request.
+func (j Join) Encode() ([]byte, error) {
+	var w writer
+	w.u16(j.Node)
+	w.f64(j.CPUCapacity)
+	w.f64(j.Battery)
+	return w.buf, nil
+}
+
+// DecodeJoin unpacks a join request.
+func DecodeJoin(b []byte) (Join, error) {
+	r := reader{buf: b}
+	var j Join
+	var err error
+	if j.Node, err = r.u16(); err != nil {
+		return j, err
+	}
+	if j.CPUCapacity, err = r.f64(); err != nil {
+		return j, err
+	}
+	if j.Battery, err = r.f64(); err != nil {
+		return j, err
+	}
+	return j, nil
+}
+
+// MigrateCmd instructs the current holder of a task to transfer its code
+// and state to another node (paper §3.1.1 op 1: task migration).
+type MigrateCmd struct {
+	TaskID string
+	Dest   uint16
+	// WithCapsule requests code transfer ahead of the state.
+	WithCapsule bool
+}
+
+// Encode packs the command.
+func (mc MigrateCmd) Encode() ([]byte, error) {
+	var w writer
+	w.u16(mc.Dest)
+	if mc.WithCapsule {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	if err := w.str(mc.TaskID); err != nil {
+		return nil, err
+	}
+	return w.buf, nil
+}
+
+// DecodeMigrateCmd unpacks the command.
+func DecodeMigrateCmd(b []byte) (MigrateCmd, error) {
+	r := reader{buf: b}
+	var mc MigrateCmd
+	var err error
+	if mc.Dest, err = r.u16(); err != nil {
+		return mc, err
+	}
+	wc, err := r.u8()
+	if err != nil {
+		return mc, err
+	}
+	mc.WithCapsule = wc == 1
+	if mc.TaskID, err = r.str(); err != nil {
+		return mc, err
+	}
+	return mc, nil
+}
+
+// ModeChange schedules a synchronized task-set switch at a future TDMA
+// frame (planned reconfiguration, §1.1 item 4).
+type ModeChange struct {
+	Mode    uint8
+	AtFrame uint64
+}
+
+// Encode packs the mode change.
+func (mc ModeChange) Encode() ([]byte, error) {
+	var w writer
+	w.u8(mc.Mode)
+	w.u64(mc.AtFrame)
+	return w.buf, nil
+}
+
+// DecodeModeChange unpacks a mode change.
+func DecodeModeChange(b []byte) (ModeChange, error) {
+	r := reader{buf: b}
+	var mc ModeChange
+	var err error
+	if mc.Mode, err = r.u8(); err != nil {
+		return mc, err
+	}
+	if mc.AtFrame, err = r.u64(); err != nil {
+		return mc, err
+	}
+	return mc, nil
+}

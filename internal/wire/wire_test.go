@@ -1,0 +1,183 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestSensorsRoundTrip(t *testing.T) {
+	in := []SensorReading{{Port: 0, Value: 50.25}, {Port: 3, Value: -12.5}}
+	b, err := EncodeSensors(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeSensors(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0] != in[0] || out[1] != in[1] {
+		t.Fatalf("round trip: %+v", out)
+	}
+}
+
+func TestSensorsTruncated(t *testing.T) {
+	b, err := EncodeSensors([]SensorReading{{Port: 1, Value: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeSensors(b[:4]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestActuateRoundTrip(t *testing.T) {
+	in := Actuate{Port: 2, Value: 11.48, TaskID: "lts-level", Seq: 99}
+	b, err := in.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeActuate(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: %+v vs %+v", out, in)
+	}
+}
+
+func TestHealthRoundTrip(t *testing.T) {
+	in := Health{Node: 7, TaskID: "lts-level", Role: RoleBackup, Seq: 12, Output: 42.5, HasOut: true, Battery: 0.83}
+	b, err := in.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeHealth(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: %+v vs %+v", out, in)
+	}
+}
+
+func TestFaultReportRoundTrip(t *testing.T) {
+	in := FaultReport{Reporter: 3, Suspect: 2, TaskID: "t", Reason: FaultOutputDeviation, Deviation: 63.5, Cycles: 4}
+	b, err := in.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeFaultReport(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: %+v vs %+v", out, in)
+	}
+}
+
+func TestRoleChangeRoundTrip(t *testing.T) {
+	in := RoleChange{Node: 4, TaskID: "x", Role: RoleActive, Seq: 5}
+	b, err := in.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeRoleChange(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: %+v", out)
+	}
+}
+
+func TestStateXferRoundTrip(t *testing.T) {
+	in := StateXfer{TaskID: "pid", Seq: 8, Blob: []byte{1, 2, 3, 4, 5}}
+	b, err := in.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeStateXfer(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TaskID != in.TaskID || out.Seq != in.Seq || string(out.Blob) != string(in.Blob) {
+		t.Fatalf("round trip: %+v", out)
+	}
+	// Truncated blob length.
+	if _, err := DecodeStateXfer(b[:len(b)-2]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestJoinAndModeChangeRoundTrip(t *testing.T) {
+	j := Join{Node: 9, CPUCapacity: 0.6, Battery: 0.95}
+	b, err := j.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJ, err := DecodeJoin(b)
+	if err != nil || gotJ != j {
+		t.Fatalf("join round trip: %+v err %v", gotJ, err)
+	}
+	mc := ModeChange{Mode: 2, AtFrame: 1234567}
+	b, err = mc.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotM, err := DecodeModeChange(b)
+	if err != nil || gotM != mc {
+		t.Fatalf("mode round trip: %+v err %v", gotM, err)
+	}
+}
+
+func TestLongTaskIDRejected(t *testing.T) {
+	long := make([]byte, 300)
+	for i := range long {
+		long[i] = 'a'
+	}
+	a := Actuate{TaskID: string(long)}
+	if _, err := a.Encode(); err == nil {
+		t.Fatal("300-byte task ID accepted")
+	}
+}
+
+func TestHealthProperty(t *testing.T) {
+	f := func(node uint16, seq uint32, out float64, hasOut bool) bool {
+		h := Health{Node: node, TaskID: "t", Role: RoleActive, Seq: seq, Output: out, HasOut: hasOut, Battery: 1}
+		b, err := h.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := DecodeHealth(b)
+		return err == nil && got == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoleStrings(t *testing.T) {
+	for _, r := range []Role{RoleDormant, RoleBackup, RoleActive, RoleIndicator} {
+		if r.String() == "" {
+			t.Fatal("empty role string")
+		}
+	}
+	for _, f := range []FaultReason{FaultOutputDeviation, FaultSilent, FaultEnergy} {
+		if f.String() == "" {
+			t.Fatal("empty reason string")
+		}
+	}
+}
+
+func TestEmptyDecodes(t *testing.T) {
+	if _, err := DecodeHealth(nil); !errors.Is(err, ErrTruncated) {
+		t.Fatal("nil health decoded")
+	}
+	if _, err := DecodeActuate([]byte{1}); !errors.Is(err, ErrTruncated) {
+		t.Fatal("short actuate decoded")
+	}
+	if _, err := DecodeJoin([]byte{}); !errors.Is(err, ErrTruncated) {
+		t.Fatal("empty join decoded")
+	}
+}

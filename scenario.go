@@ -1,0 +1,369 @@
+package evm
+
+import (
+	"fmt"
+	"time"
+
+	"evm/internal/core"
+	"evm/internal/gateway"
+	"evm/internal/plant"
+	"evm/internal/radio"
+	"evm/internal/trace"
+	"evm/internal/vm"
+)
+
+// Default node IDs for the gas-plant testbed (Fig. 5: six interconnected
+// nodes around a gateway).
+const (
+	GasGatewayID NodeID = 1
+	GasCtrlAID   NodeID = 2
+	GasCtrlBID   NodeID = 3
+	GasHeadID    NodeID = 4
+	GasSensorID  NodeID = 5
+	GasActID     NodeID = 6
+)
+
+// LTSTaskID names the Fig. 6 control task.
+const LTSTaskID = "lts-level"
+
+// ChillerTaskID names the chiller temperature loop (one of the other
+// controllers in the paper's 8-controller deployment).
+const ChillerTaskID = "chiller-temp"
+
+// ReboilTaskID names the Depropanizer bottoms-composition loop.
+const ReboilTaskID = "depropanizer-c3"
+
+// GasPlantConfig parameterizes the hardware-in-loop scenario.
+type GasPlantConfig struct {
+	Seed uint64
+	// ControlPeriod is the cycle time (paper: 1/4 s or less).
+	ControlPeriod time.Duration
+	// Setpoint is the LTS level target in percent.
+	Setpoint float64
+	// DeviationTol / DeviationWindow / SilenceWindow set the backup's
+	// fault-detection policy.
+	DeviationTol    float64
+	DeviationWindow int
+	SilenceWindow   int
+	// DormantAfter is the Indicator -> Dormant delay (paper: 200 s).
+	DormantAfter time.Duration
+	// PER forces a fixed link loss rate; negative keeps the distance
+	// model; 0 gives a perfect channel.
+	PER float64
+	// UseVM runs the control law as EVM byte code instead of native PID.
+	UseVM bool
+}
+
+// DefaultGasPlantConfig mirrors the paper's numbers: 250 ms cycle,
+// 50% level setpoint, 200 s dormant delay.
+func DefaultGasPlantConfig() GasPlantConfig {
+	return GasPlantConfig{
+		Seed:            1,
+		ControlPeriod:   250 * time.Millisecond,
+		Setpoint:        50,
+		DeviationTol:    10,
+		DeviationWindow: 8,
+		SilenceWindow:   8,
+		DormantAfter:    200 * time.Second,
+		PER:             0,
+	}
+}
+
+// GasPlant is the deployed Fig. 5 testbed: the plant, the gateway and a
+// Virtual Component of controllers.
+type GasPlant struct {
+	Cell  *Cell
+	Plant *plant.Plant
+	GW    *gateway.Gateway
+	VC    VCConfig
+
+	cfg GasPlantConfig
+	rec *trace.Recorder
+	// actLatencies collects gateway-measured sensor-to-actuation
+	// latencies (experiment E5).
+	actLatencies []time.Duration
+}
+
+// chillerPIDFactory builds the chiller temperature controller: reverse-
+// acting PID holding the LTS at -20 C by modulating refrigeration duty.
+func chillerPIDFactory(cfg GasPlantConfig) func() (TaskLogic, error) {
+	rate := 1.0 / cfg.ControlPeriod.Seconds()
+	return func() (TaskLogic, error) {
+		return NewPIDLogic(PIDParams{
+			Kp: 5, Ki: 0.5, Kd: 0,
+			OutMin: 0, OutMax: 100,
+			Setpoint: -20,
+			CutoffHz: 0.2, RateHz: rate,
+			Reverse: true,
+		})
+	}
+}
+
+// reboilPIDFactory builds the Depropanizer composition controller:
+// reverse-acting PID holding the bottoms propane fraction at its design
+// value by modulating reboil duty.
+func reboilPIDFactory(cfg GasPlantConfig) func() (TaskLogic, error) {
+	rate := 1.0 / cfg.ControlPeriod.Seconds()
+	return func() (TaskLogic, error) {
+		return NewPIDLogic(PIDParams{
+			Kp: 3000, Ki: 120, Kd: 0,
+			OutMin: 0, OutMax: 100,
+			Setpoint: 0.024, // 0.30 feed C3 x 0.08 design separation
+			CutoffHz: 0.05, RateHz: rate,
+			Reverse: true,
+		})
+	}
+}
+
+// ltsPIDFactory builds the Fig. 6 controller: reverse-acting filtered
+// PID on the LTS level driving the liquid valve.
+func ltsPIDFactory(cfg GasPlantConfig) func() (TaskLogic, error) {
+	rate := 1.0 / cfg.ControlPeriod.Seconds()
+	return func() (TaskLogic, error) {
+		return NewPIDLogic(PIDParams{
+			Kp: 1.2, Ki: 0.08, Kd: 0.2,
+			OutMin: 0, OutMax: 100,
+			Setpoint: cfg.Setpoint,
+			CutoffHz: 0.2, RateHz: rate,
+			Reverse: true,
+		})
+	}
+}
+
+// LTSCapsuleSource is the Fig. 6 control law expressed in EVM assembler:
+// a reverse-acting proportional controller on the LTS level,
+// out = clamp(Kp * (level - setpoint), 0, 100).
+const LTSCapsuleSource = `
+	IN 0        ; LTS level (Q16.16)
+	PUSHQ 50.0  ; setpoint
+	SUB         ; level - sp (reverse acting)
+	PUSHQ 1.5   ; Kp
+	MULQ
+	PUSH 0
+	MAX
+	PUSHQ 100.0
+	MIN
+	OUT 0
+	HALT`
+
+// ltsVMFactory builds the byte-code variant of the LTS controller.
+func ltsVMFactory() (func() (TaskLogic, error), error) {
+	code, err := vm.Assemble(LTSCapsuleSource)
+	if err != nil {
+		return nil, err
+	}
+	capsule := vm.Capsule{TaskID: LTSTaskID, Version: 1, Code: code}
+	return func() (TaskLogic, error) {
+		return core.NewVMLogic(capsule, 0)
+	}, nil
+}
+
+// NewGasPlant assembles the scenario: gas plant + ModBus plant server +
+// gateway + a Virtual Component with primary Ctrl-A and backup Ctrl-B.
+func NewGasPlant(cfg GasPlantConfig) (*GasPlant, error) {
+	if cfg.ControlPeriod <= 0 {
+		return nil, fmt.Errorf("evm: control period %v", cfg.ControlPeriod)
+	}
+	ids := []NodeID{GasGatewayID, GasCtrlAID, GasCtrlBID, GasHeadID, GasSensorID, GasActID}
+	// Three slots per node: after a fail-over one controller may hold two
+	// active tasks (two actuations + one health bundle per cycle).
+	cell, err := NewCell(CellConfig{Seed: cfg.Seed, PerfectChannel: cfg.PER == 0, SlotsPerNode: 3}, ids)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.PER > 0 {
+		cell.Medium().ForcePER(cfg.PER)
+	}
+
+	factory := ltsPIDFactory(cfg)
+	if cfg.UseVM {
+		vmFactory, err := ltsVMFactory()
+		if err != nil {
+			return nil, err
+		}
+		factory = vmFactory
+	}
+	spec := TaskSpec{
+		ID:              LTSTaskID,
+		SensorPort:      gateway.PortLTSLevel,
+		ActuatorPort:    gateway.PortLTSValve,
+		Period:          cfg.ControlPeriod,
+		WCET:            5 * time.Millisecond,
+		Candidates:      []NodeID{GasCtrlAID, GasCtrlBID},
+		DeviationTol:    cfg.DeviationTol,
+		DeviationWindow: cfg.DeviationWindow,
+		SilenceWindow:   cfg.SilenceWindow,
+		MakeLogic:       factory,
+	}
+	chillerSpec := TaskSpec{
+		ID:              ChillerTaskID,
+		SensorPort:      gateway.PortLTSTemp,
+		ActuatorPort:    gateway.PortChillerDuty,
+		Period:          cfg.ControlPeriod,
+		WCET:            5 * time.Millisecond,
+		Candidates:      []NodeID{GasCtrlBID, GasCtrlAID},
+		DeviationTol:    cfg.DeviationTol,
+		DeviationWindow: cfg.DeviationWindow,
+		SilenceWindow:   cfg.SilenceWindow,
+		MakeLogic:       chillerPIDFactory(cfg),
+	}
+	// The composition loop's output hunts with the tower-feed
+	// oscillation, so a one-cycle observation skew (lost sensor
+	// broadcast at a backup) produces large transient deviations; its
+	// tolerance must cover that volatility.
+	reboilTol := cfg.DeviationTol
+	if reboilTol < 35 {
+		reboilTol = 35
+	}
+	reboilSpec := TaskSpec{
+		ID:              ReboilTaskID,
+		SensorPort:      gateway.PortBottomsC3,
+		ActuatorPort:    gateway.PortReboilDuty,
+		Period:          cfg.ControlPeriod,
+		WCET:            5 * time.Millisecond,
+		Candidates:      []NodeID{GasSensorID, GasActID},
+		DeviationTol:    reboilTol,
+		DeviationWindow: cfg.DeviationWindow,
+		SilenceWindow:   cfg.SilenceWindow,
+		MakeLogic:       reboilPIDFactory(cfg),
+	}
+	vc := VCConfig{
+		Name:         "gas-plant",
+		Head:         GasHeadID,
+		Gateway:      GasGatewayID,
+		Tasks:        []TaskSpec{spec, chillerSpec, reboilSpec},
+		DormantAfter: cfg.DormantAfter,
+	}
+	if err := cell.Deploy(vc); err != nil {
+		return nil, err
+	}
+
+	p, err := plant.New(plant.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	ps := gateway.NewPlantServer(p, 1)
+	gwCfg := gateway.DefaultConfig()
+	gwCfg.Poll = cfg.ControlPeriod
+	gwCfg.ActiveNode = map[string]radio.NodeID{
+		LTSTaskID:     GasCtrlAID,
+		ChillerTaskID: GasCtrlBID,
+		ReboilTaskID:  GasSensorID,
+	}
+	gw, err := gateway.New(cell.Engine(), cell.Network().Link(GasGatewayID), ps, gwCfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &GasPlant{Cell: cell, Plant: p, GW: gw, VC: vc, cfg: cfg, rec: trace.NewRecorder()}
+	gw.OnActuate = func(src radio.NodeID, task string, port uint8, value float64) {
+		s.actLatencies = append(s.actLatencies, cell.Now()-gw.LastPollAt())
+	}
+
+	// Plant dynamics integrate at a finer step than the control cycle.
+	const plantDT = 50 * time.Millisecond
+	cell.Engine().Every(plantDT, func() { p.Step(plantDT.Seconds()) })
+	// Record the Fig. 6(b) series once per second of plant time.
+	cell.Engine().Every(time.Second, s.record)
+	gw.Start()
+	return s, nil
+}
+
+func (s *GasPlant) record() {
+	now := s.Cell.Now()
+	f := s.Plant.Flows()
+	s.rec.Series("lts_level_pct").Add(now, s.Plant.LTSLevelPct())
+	s.rec.Series("sepliq_kmolh").Add(now, f.SepLiq)
+	s.rec.Series("ltsliq_kmolh").Add(now, f.LTSLiq)
+	s.rec.Series("towerfeed_kmolh").Add(now, f.TowerFeed)
+	s.rec.Series("valve_pct").Add(now, s.Plant.ValveOpenPct())
+	s.rec.Series("lts_temp_c").Add(now, s.Plant.LTSTempC())
+	s.rec.Series("chiller_duty_pct").Add(now, s.Plant.ChillerDutyPct())
+	s.rec.Series("bottoms_c3_frac").Add(now, s.Plant.BottomsC3())
+	s.rec.Series("reboil_duty_pct").Add(now, s.Plant.ReboilDutyPct())
+	active := 0.0
+	if id, ok := s.Cell.Node(GasHeadID).Head().ActiveNode(LTSTaskID); ok {
+		active = float64(id)
+	}
+	s.rec.Series("active_node").Add(now, active)
+}
+
+// Recorder returns the Fig. 6(b) time series.
+func (s *GasPlant) Recorder() *trace.Recorder { return s.rec }
+
+// ActuationLatencies returns gateway-measured sensor-to-actuation
+// latencies.
+func (s *GasPlant) ActuationLatencies() []time.Duration {
+	return append([]time.Duration(nil), s.actLatencies...)
+}
+
+// Run advances the scenario by d.
+func (s *GasPlant) Run(d time.Duration) { s.Cell.Run(d) }
+
+// InjectPrimaryFault makes Ctrl-A emit the Fig. 6 wrong output (75%).
+func (s *GasPlant) InjectPrimaryFault() {
+	s.Cell.Node(GasCtrlAID).InjectComputeFault(LTSTaskID, 75)
+}
+
+// ClearPrimaryFault removes the injected fault.
+func (s *GasPlant) ClearPrimaryFault() {
+	s.Cell.Node(GasCtrlAID).ClearComputeFault(LTSTaskID)
+}
+
+// CrashPrimary fails Ctrl-A's radio (silent crash).
+func (s *GasPlant) CrashPrimary() {
+	s.Cell.Node(GasCtrlAID).Link().Radio().Fail()
+}
+
+// ActiveController returns the current master for the LTS task.
+func (s *GasPlant) ActiveController() NodeID {
+	id, _ := s.Cell.Node(GasHeadID).Head().ActiveNode(LTSTaskID)
+	return id
+}
+
+// Fig6Result summarizes one run of the Fig. 6(b) experiment.
+type Fig6Result struct {
+	FaultAt    time.Duration
+	FailoverAt time.Duration
+	// LevelBefore / LevelMin / LevelEnd trace the drop and recovery.
+	LevelBefore float64
+	LevelMin    float64
+	LevelEnd    float64
+	// FlowPeak is the TowerFeed spike during the fault.
+	FlowNominal float64
+	FlowPeak    float64
+}
+
+// RunFig6 executes the full Fig. 6(b) timeline: steady state, primary
+// fault at faultAt, detection and fail-over by the EVM, recovery until
+// horizon. It returns the shape summary and leaves the series in
+// Recorder().
+func (s *GasPlant) RunFig6(faultAt, horizon time.Duration) (Fig6Result, error) {
+	if faultAt >= horizon {
+		return Fig6Result{}, fmt.Errorf("evm: fault at %v after horizon %v", faultAt, horizon)
+	}
+	res := Fig6Result{FaultAt: faultAt}
+	s.Cell.Node(GasHeadID).Head().OnFailover = func(task string, from, to NodeID) {
+		if res.FailoverAt == 0 {
+			res.FailoverAt = s.Cell.Now()
+		}
+	}
+	s.Run(faultAt)
+	res.LevelBefore = s.Plant.LTSLevelPct()
+	res.FlowNominal = s.Plant.Flows().TowerFeed
+	s.InjectPrimaryFault()
+
+	res.LevelMin = res.LevelBefore
+	res.FlowPeak = res.FlowNominal
+	probe := s.Cell.Engine().Every(time.Second, func() {
+		if l := s.Plant.LTSLevelPct(); l < res.LevelMin {
+			res.LevelMin = l
+		}
+		if f := s.Plant.Flows().TowerFeed; f > res.FlowPeak {
+			res.FlowPeak = f
+		}
+	})
+	s.Run(horizon - faultAt)
+	probe.Stop()
+	res.LevelEnd = s.Plant.LTSLevelPct()
+	return res, nil
+}
