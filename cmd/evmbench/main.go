@@ -9,6 +9,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
+	"sort"
 	"time"
 
 	"evm"
@@ -27,9 +29,9 @@ func main() {
 	experiments := map[string]func() error{
 		"e1": e1Fig6, "e2": e2Failover, "e3": e3MACLifetime, "e4": e4SyncJitter,
 		"e5": e5ControlCycle, "e6": e6Migration, "e7": e7BQP, "e8": e8Degradation,
-		"e9": e9Admission, "e10": e10Attestation,
+		"e9": e9Admission, "e10": e10Attestation, "grid": gridSweep,
 	}
-	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"}
+	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "grid"}
 	if *exp != "all" {
 		fn, ok := experiments[*exp]
 		if !ok {
@@ -91,21 +93,18 @@ func e2Failover() error {
 			if err != nil {
 				return err
 			}
-			head := s.Cell.Node(evm.GasHeadID).Head()
-			early := false
-			head.OnFailover = func(string, evm.NodeID, evm.NodeID) { early = true }
+			var failAt time.Duration
+			s.Cell.Events().Subscribe(func(ev evm.Event) {
+				if _, isFO := ev.(evm.FailoverEvent); isFO && failAt == 0 {
+					failAt = ev.When()
+				}
+			})
 			s.Run(30 * time.Second)
-			if early {
+			if failAt > 0 {
 				falsePos++
 				continue
 			}
 			faultAt := s.Cell.Now()
-			var failAt time.Duration
-			head.OnFailover = func(string, evm.NodeID, evm.NodeID) {
-				if failAt == 0 {
-					failAt = s.Cell.Now()
-				}
-			}
 			s.InjectPrimaryFault()
 			s.Run(120 * time.Second)
 			if failAt > 0 {
@@ -226,7 +225,8 @@ func (l *blobLogic) Restore(b []byte) error {
 }
 
 func migrateOnce(size int) (time.Duration, error) {
-	cell, err := evm.NewCell(evm.CellConfig{Seed: 1, PerfectChannel: true}, []evm.NodeID{1, 2, 3, 4})
+	cell, err := evm.NewCellWith(evm.CellConfig{Seed: 1},
+		evm.WithNodes(1, 2, 3, 4), evm.WithPER(0))
 	if err != nil {
 		return 0, err
 	}
@@ -248,7 +248,11 @@ func migrateOnce(size int) (time.Duration, error) {
 	cell.Run(time.Second)
 	start := cell.Now()
 	var done time.Duration
-	cell.Node(3).OnMigrationIn = func(string) { done = cell.Now() }
+	cell.Events().Subscribe(func(ev evm.Event) {
+		if _, isMig := ev.(evm.MigrationEvent); isMig && done == 0 {
+			done = ev.When()
+		}
+	})
 	if err := cell.Node(2).MigrateTask("t", 3); err != nil {
 		return 0, err
 	}
@@ -331,8 +335,8 @@ func e8Degradation() error {
 }
 
 func coverageAfterKills(kills int, reorganize bool) (float64, error) {
-	ids := []evm.NodeID{1, 2, 3, 4, 5, 6}
-	cell, err := evm.NewCell(evm.CellConfig{Seed: 1, PerfectChannel: true}, ids)
+	cell, err := evm.NewCellWith(evm.CellConfig{Seed: 1},
+		evm.WithNodeCount(6), evm.WithPER(0))
 	if err != nil {
 		return 0, err
 	}
@@ -365,10 +369,18 @@ func coverageAfterKills(kills int, reorganize bool) (float64, error) {
 			n.Stop()
 		}
 	}
+	// The kill sequence is a declarative plan: one crash every 10 s.
+	steps := make([]evm.FaultStep, 0, kills)
 	for k := 0; k < kills; k++ {
-		cell.Node(evm.NodeID(2 + k)).Link().Radio().Fail()
-		cell.Run(10 * time.Second)
+		steps = append(steps, evm.FaultStep{
+			At:        time.Duration(k) * 10 * time.Second,
+			CrashNode: evm.NodeID(2 + k),
+		})
 	}
+	if err := cell.ApplyFaultPlan(evm.FaultPlan{Name: "sequential-kills", Steps: steps}); err != nil {
+		return 0, err
+	}
+	cell.Run(time.Duration(kills) * 10 * time.Second)
 	return evm.EvaluateQoS(vc, cell.Nodes()).CoverageRatio, nil
 }
 
@@ -437,6 +449,67 @@ func e10Attestation() error {
 			}
 		}
 		fmt.Printf("  code %6dB: %d/%d single-bit corruptions detected\n", size, detected, trials)
+	}
+	return nil
+}
+
+// gridSweep exercises the scenario registry and the parallel Runner: a
+// scenario x seed x fault-plan grid fans out across worker goroutines and
+// the per-run metrics are aggregated per scenario (the ROADMAP's
+// "hundreds of seeded runs" workflow).
+func gridSweep() error {
+	// One worker per core, but always enough to demonstrate the sharding
+	// even on single-core hosts.
+	workers := runtime.NumCPU()
+	if workers < 4 {
+		workers = 4
+	}
+	header("GRID", fmt.Sprintf("registry sweep on the parallel Runner (%d workers)", workers))
+	crash := evm.FaultPlan{
+		Name:  "crash-2",
+		Steps: []evm.FaultStep{{At: 10 * time.Second, CrashNode: 2}},
+	}
+	scenarios := []string{evm.ScenarioGasPlant, evm.ScenarioEightController, evm.ScenarioCapacity}
+	specs := evm.SpecGrid(scenarios,
+		[]uint64{1, 2, 3, 4},
+		[]evm.FaultPlan{{}, crash},
+		60*time.Second)
+	start := time.Now()
+	results := (&evm.Runner{Workers: workers}).Run(specs)
+	elapsed := time.Since(start)
+	failed := 0
+	for _, r := range results {
+		if r.Err != nil {
+			failed++
+			fmt.Printf("  FAILED %s: %v\n", r.Spec.Label(), r.Err)
+		}
+	}
+	fmt.Printf("  %d runs (%d scenarios x 4 seeds x 2 plans) in %v wall, %d failed\n",
+		len(specs), len(scenarios), elapsed.Round(time.Millisecond), failed)
+	agg := evm.Aggregate(results)
+	for _, sc := range scenarios {
+		sum, ok := agg[sc]
+		if !ok {
+			continue
+		}
+		fmt.Printf("  %-18s", sc)
+		keys := []string{evm.MetricFailovers, evm.MetricActuations, "coverage", "lts_level_pct", "members"}
+		shown := 0
+		for _, k := range keys {
+			if m, has := sum[k]; has {
+				fmt.Printf("  %s mean=%.2f", k, m.Mean)
+				shown++
+			}
+		}
+		if shown == 0 {
+			names := make([]string, 0, len(sum))
+			for k := range sum {
+				names = append(names, k)
+			}
+			sort.Strings(names)
+			fmt.Printf("  metrics: %v", names)
+		}
+		fmt.Println()
 	}
 	return nil
 }

@@ -47,26 +47,34 @@ func run() error {
 		return err
 	}
 
+	// The whole experiment is declarative: the fault is a plan applied to
+	// the cell, and observability rides the typed event bus.
 	var failoverAt time.Duration
-	s.Cell.Node(evm.GasHeadID).Head().OnFailover = func(task string, from, to evm.NodeID) {
-		if failoverAt == 0 {
-			failoverAt = s.Cell.Now()
+	s.Cell.Events().Subscribe(func(ev evm.Event) {
+		switch e := ev.(type) {
+		case evm.FailoverEvent:
+			if failoverAt == 0 {
+				failoverAt = e.At
+			}
+			fmt.Printf("[%10v] failover: %s %v -> %v\n", e.At, e.Task, e.From, e.To)
+		case evm.FaultEvent:
+			fmt.Printf("[%10v] fault injected: %s node %v\n", e.At, e.Kind, e.Node)
 		}
-		fmt.Printf("[%10v] failover: %s %v -> %v\n", s.Cell.Now(), task, from, to)
+	})
+	plan := evm.PrimaryFaultPlan(*faultAt)
+	if *crash {
+		plan = evm.PrimaryCrashPlan(*faultAt)
+	}
+	if err := s.Cell.ApplyFaultPlan(plan); err != nil {
+		return err
 	}
 
-	fmt.Printf("gas plant under EVM control: cycle=%v, window=%d cycles, per=%.2f\n",
-		cfg.ControlPeriod, cfg.DeviationWindow, cfg.PER)
-	s.Run(*faultAt)
-	if *crash {
-		fmt.Printf("[%10v] crashing primary Ctrl-A (silent fault)\n", s.Cell.Now())
-		s.CrashPrimary()
-	} else {
-		fmt.Printf("[%10v] Ctrl-A now outputs 75%% instead of %.2f%%\n",
-			s.Cell.Now(), s.Plant.NominalValvePct())
-		s.InjectPrimaryFault()
+	fmt.Printf("gas plant under EVM control: cycle=%v, window=%d cycles, per=%.2f, plan=%s\n",
+		cfg.ControlPeriod, cfg.DeviationWindow, cfg.PER, plan.Label())
+	if !*crash {
+		fmt.Printf("at %v Ctrl-A will output 75%% instead of %.2f%%\n", *faultAt, s.Plant.NominalValvePct())
 	}
-	s.Run(*horizon - *faultAt)
+	s.Run(*horizon)
 
 	fmt.Println("--- summary ---")
 	fmt.Printf("fault at           %v\n", *faultAt)

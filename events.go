@@ -1,0 +1,246 @@
+package evm
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// Event is one structured observation from a cell, stamped with virtual
+// time. All events are published synchronously on the cell's simulation
+// engine, so subscription callbacks see them in deterministic order: two
+// runs with equal seeds produce byte-identical event streams.
+//
+// The event bus replaces the deprecated per-object callback fields
+// (Head.OnFailover, Gateway.OnActuate, Node.OnMigrationIn), which remain
+// as thin adapters during the deprecation window.
+type Event interface {
+	// When returns the virtual time at which the event occurred.
+	When() time.Duration
+	// String renders a stable one-line form suitable for logging and
+	// byte-comparison across runs.
+	String() string
+}
+
+// FailoverEvent fires after the component head switches a task's master.
+type FailoverEvent struct {
+	At   time.Duration
+	Task string
+	From NodeID
+	To   NodeID
+}
+
+// When implements Event.
+func (e FailoverEvent) When() time.Duration { return e.At }
+
+// String implements Event.
+func (e FailoverEvent) String() string {
+	return fmt.Sprintf("%v failover task=%s from=%d to=%d", e.At, e.Task, e.From, e.To)
+}
+
+// ActuationEvent fires when the gateway's operation switch accepts an
+// actuation and writes it to the plant.
+type ActuationEvent struct {
+	At    time.Duration
+	Node  NodeID
+	Task  string
+	Port  uint8
+	Value float64
+}
+
+// When implements Event.
+func (e ActuationEvent) When() time.Duration { return e.At }
+
+// String implements Event.
+func (e ActuationEvent) String() string {
+	return fmt.Sprintf("%v actuation node=%d task=%s port=%d value=%s",
+		e.At, e.Node, e.Task, e.Port, strconv.FormatFloat(e.Value, 'g', -1, 64))
+}
+
+// MigrationEvent fires when a migrated task's state becomes ready on the
+// destination node.
+type MigrationEvent struct {
+	At   time.Duration
+	Task string
+	From NodeID
+	To   NodeID
+}
+
+// When implements Event.
+func (e MigrationEvent) When() time.Duration { return e.At }
+
+// String implements Event.
+func (e MigrationEvent) String() string {
+	return fmt.Sprintf("%v migration task=%s from=%d to=%d", e.At, e.Task, e.From, e.To)
+}
+
+// JoinEvent fires when the component head admits a member announcement.
+type JoinEvent struct {
+	At   time.Duration
+	Node NodeID
+}
+
+// When implements Event.
+func (e JoinEvent) When() time.Duration { return e.At }
+
+// String implements Event.
+func (e JoinEvent) String() string {
+	return fmt.Sprintf("%v join node=%d", e.At, e.Node)
+}
+
+// FaultKind classifies a FaultEvent.
+type FaultKind string
+
+// Fault kinds emitted by fault-plan execution.
+const (
+	FaultCrash        FaultKind = "crash"
+	FaultRecover      FaultKind = "recover"
+	FaultCompute      FaultKind = "compute"
+	FaultComputeClear FaultKind = "compute-clear"
+	FaultPERBurst     FaultKind = "per-burst"
+	FaultPERRestore   FaultKind = "per-restore"
+)
+
+// FaultEvent fires when a fault-plan step executes against the cell.
+type FaultEvent struct {
+	At   time.Duration
+	Kind FaultKind
+	// Node is the affected node (zero for cell-wide faults like a PER
+	// burst).
+	Node NodeID
+	// Task is set for compute faults.
+	Task string
+	// Value carries the fault magnitude: the wrong output for compute
+	// faults, the forced packet error rate for PER bursts.
+	Value float64
+}
+
+// When implements Event.
+func (e FaultEvent) When() time.Duration { return e.At }
+
+// String implements Event.
+func (e FaultEvent) String() string {
+	return fmt.Sprintf("%v fault kind=%s node=%d task=%s value=%s",
+		e.At, e.Kind, e.Node, e.Task, strconv.FormatFloat(e.Value, 'g', -1, 64))
+}
+
+// Bus is a cell's typed event stream. Subscribe registers a callback that
+// runs synchronously, on the simulation engine's goroutine, for every
+// published event. Callbacks run in subscription order, so event handling
+// is as deterministic as the simulation itself.
+type Bus struct {
+	subs []*Subscription
+	// publishing guards the subs slice: cancellations during delivery
+	// only mark the entry and are compacted after the loop, so no
+	// subscriber is skipped or double-invoked.
+	publishing bool
+	dirty      bool
+}
+
+// Subscription is a handle on one Subscribe registration.
+type Subscription struct {
+	bus *Bus
+	fn  func(Event)
+}
+
+// Cancel removes the subscription; it is safe to call more than once,
+// including from inside an event callback (the subscription stops
+// receiving immediately, other subscribers are unaffected).
+func (s *Subscription) Cancel() {
+	if s.bus == nil {
+		return
+	}
+	b := s.bus
+	s.bus = nil
+	if b.publishing {
+		b.dirty = true
+		return
+	}
+	for i, sub := range b.subs {
+		if sub == s {
+			b.subs = append(b.subs[:i], b.subs[i+1:]...)
+			break
+		}
+	}
+}
+
+// Subscribe registers fn for every subsequent event. Do not call Cell.Run
+// from inside a callback.
+func (b *Bus) Subscribe(fn func(Event)) *Subscription {
+	sub := &Subscription{bus: b, fn: fn}
+	b.subs = append(b.subs, sub)
+	return sub
+}
+
+// publish delivers the event to every subscriber in subscription order.
+// Subscriptions added during delivery start with the next event.
+func (b *Bus) publish(ev Event) {
+	b.publishing = true
+	n := len(b.subs)
+	for i := 0; i < n; i++ {
+		sub := b.subs[i]
+		if sub.bus != nil {
+			sub.fn(ev)
+		}
+	}
+	b.publishing = false
+	if !b.dirty {
+		return
+	}
+	b.dirty = false
+	live := b.subs[:0]
+	for _, sub := range b.subs {
+		if sub.bus != nil {
+			live = append(live, sub)
+		}
+	}
+	for i := len(live); i < len(b.subs); i++ {
+		b.subs[i] = nil
+	}
+	b.subs = live
+}
+
+// Log subscribes a recorder that accumulates every event; useful for
+// experiment post-processing and determinism checks.
+func (b *Bus) Log() *EventLog {
+	l := &EventLog{}
+	l.sub = b.Subscribe(func(ev Event) { l.events = append(l.events, ev) })
+	return l
+}
+
+// EventLog records every event published after Bus.Log was called.
+type EventLog struct {
+	sub    *Subscription
+	events []Event
+}
+
+// Events returns the recorded events in publication order.
+func (l *EventLog) Events() []Event { return append([]Event(nil), l.events...) }
+
+// Strings renders the recorded events one line each; equal seeds yield
+// byte-identical slices.
+func (l *EventLog) Strings() []string {
+	out := make([]string, len(l.events))
+	for i, ev := range l.events {
+		out[i] = ev.String()
+	}
+	return out
+}
+
+// Count returns how many recorded events satisfy pred (pred nil counts
+// everything).
+func (l *EventLog) Count(pred func(Event) bool) int {
+	if pred == nil {
+		return len(l.events)
+	}
+	n := 0
+	for _, ev := range l.events {
+		if pred(ev) {
+			n++
+		}
+	}
+	return n
+}
+
+// Close stops recording.
+func (l *EventLog) Close() { l.sub.Cancel() }

@@ -1,0 +1,274 @@
+package evm
+
+import (
+	"testing"
+	"time"
+)
+
+// testVC builds the standard 4-node component: gateway 1, candidates 2/3,
+// head 4.
+func testVC(window int) VCConfig {
+	return VCConfig{
+		Name: "bus", Head: 4, Gateway: 1,
+		Tasks: []TaskSpec{{
+			ID: "loop", SensorPort: 0, ActuatorPort: 1,
+			Period: 250 * time.Millisecond, WCET: 5 * time.Millisecond,
+			Candidates:   []NodeID{2, 3},
+			DeviationTol: 5, DeviationWindow: window, SilenceWindow: 8,
+			MakeLogic: func() (TaskLogic, error) {
+				return NewPIDLogic(PIDParams{Kp: 2, Ki: 0.5, OutMin: 0, OutMax: 100,
+					Setpoint: 50, CutoffHz: 0.4, RateHz: 4})
+			},
+		}},
+	}
+}
+
+func startFeed(t *testing.T, cell *Cell) {
+	t.Helper()
+	_, err := cell.StartSensorFeed(1, 250*time.Millisecond, func() []SensorReading {
+		return []SensorReading{{Port: 0, Value: 50}}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventBusPublishesFaultAndFailover(t *testing.T) {
+	cell, err := NewCellWith(CellConfig{Seed: 7}, WithNodes(1, 2, 3, 4), WithPER(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cell.Deploy(testVC(4)); err != nil {
+		t.Fatal(err)
+	}
+	startFeed(t, cell)
+	log := cell.Events().Log()
+	plan := FaultPlan{
+		Name: "byzantine",
+		Steps: []FaultStep{{
+			At:           5 * time.Second,
+			ComputeFault: &ComputeFault{Node: 2, Task: "loop", Output: 75},
+		}},
+	}
+	if err := cell.ApplyFaultPlan(plan); err != nil {
+		t.Fatal(err)
+	}
+	cell.Run(30 * time.Second)
+	if n := log.Count(func(ev Event) bool { _, ok := ev.(FaultEvent); return ok }); n != 1 {
+		t.Fatalf("fault events = %d, want 1", n)
+	}
+	var fo *FailoverEvent
+	for _, ev := range log.Events() {
+		if f, ok := ev.(FailoverEvent); ok {
+			fo = &f
+			break
+		}
+	}
+	if fo == nil {
+		t.Fatal("no FailoverEvent after injected compute fault")
+	}
+	if fo.Task != "loop" || fo.From != 2 || fo.To != 3 {
+		t.Fatalf("failover event = %+v, want loop 2->3", fo)
+	}
+	if fo.At <= 5*time.Second {
+		t.Fatalf("failover at %v, before the fault at 5s", fo.At)
+	}
+}
+
+func TestEventBusJoinAndMigration(t *testing.T) {
+	exp, err := BuildScenario(RunSpec{Scenario: ScenarioCapacity, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Cleanup()
+	log := exp.Cell.Events().Log()
+	exp.Cell.Run(exp.DefaultHorizon)
+	joins := log.Count(func(ev Event) bool { _, ok := ev.(JoinEvent); return ok })
+	migs := log.Count(func(ev Event) bool { _, ok := ev.(MigrationEvent); return ok })
+	if joins == 0 {
+		t.Fatal("no JoinEvent from the runtime admission")
+	}
+	if migs == 0 {
+		t.Fatal("no MigrationEvent from the commanded migration")
+	}
+}
+
+func TestDeprecatedCallbacksStillFire(t *testing.T) {
+	cell, err := NewCellWith(CellConfig{Seed: 7}, WithNodes(1, 2, 3, 4), WithPER(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cell.Deploy(testVC(4)); err != nil {
+		t.Fatal(err)
+	}
+	startFeed(t, cell)
+	var busSaw, callbackSaw bool
+	cell.Events().Subscribe(func(ev Event) {
+		if _, ok := ev.(FailoverEvent); ok {
+			busSaw = true
+		}
+	})
+	cell.Node(4).Head().OnFailover = func(string, NodeID, NodeID) { callbackSaw = true }
+	cell.Run(5 * time.Second)
+	cell.Node(2).InjectComputeFault("loop", 75)
+	cell.Run(20 * time.Second)
+	if !busSaw {
+		t.Fatal("event bus missed the failover")
+	}
+	if !callbackSaw {
+		t.Fatal("deprecated OnFailover adapter no longer fires")
+	}
+}
+
+// TestEventStreamDeterministic checks the redesign's core guarantee:
+// equal seeds yield byte-identical event streams, including under
+// stochastic loss and a multi-step fault plan.
+func TestEventStreamDeterministic(t *testing.T) {
+	run := func() []string {
+		cfg := DefaultGasPlantConfig()
+		cfg.Seed = 42
+		cfg.DeviationWindow = 8
+		cfg.PER = 0.15
+		s, err := NewGasPlant(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		log := s.Cell.Events().Log()
+		plan := FaultPlan{
+			Name: "mixed",
+			Steps: []FaultStep{
+				{At: 10 * time.Second, ComputeFault: &ComputeFault{Node: GasCtrlAID, Task: LTSTaskID, Output: 75, For: 20 * time.Second}},
+				{At: 40 * time.Second, PERBurst: &PERBurst{PER: 0.5, For: 5 * time.Second}},
+			},
+		}
+		if err := s.Cell.ApplyFaultPlan(plan); err != nil {
+			t.Fatal(err)
+		}
+		s.Run(60 * time.Second)
+		return log.Strings()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("event stream lengths differ: %d vs %d", len(a), len(b))
+	}
+	if len(a) == 0 {
+		t.Fatal("no events recorded")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs:\n  run1: %s\n  run2: %s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDeployStopsStartedNodesOnFailure(t *testing.T) {
+	cell, err := NewCellWith(CellConfig{Seed: 1}, WithNodes(1, 2, 3, 4), WithPER(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc := testVC(4)
+	calls := 0
+	vc.Tasks[0].MakeLogic = func() (TaskLogic, error) {
+		calls++
+		if calls >= 2 {
+			return nil, errTestLogic
+		}
+		return NewPIDLogic(PIDParams{Kp: 1, OutMin: 0, OutMax: 100, Setpoint: 50, CutoffHz: 0.4, RateHz: 4})
+	}
+	if err := cell.Deploy(vc); err == nil {
+		t.Fatal("Deploy succeeded despite failing logic factory")
+	}
+	if len(cell.nodes) != 0 {
+		t.Fatalf("%d node runtimes leaked after failed Deploy", len(cell.nodes))
+	}
+	// The started-then-stopped node must not leave its watchdog ticking.
+	if p := cell.Engine().Pending(); p != 0 {
+		t.Fatalf("%d events still pending after failed Deploy (leaked watchdog?)", p)
+	}
+}
+
+var errTestLogic = &logicError{}
+
+type logicError struct{}
+
+func (*logicError) Error() string { return "logic factory exploded" }
+
+func TestAddNodeRuntimeRollsBackOnFailure(t *testing.T) {
+	// 7 nodes x 7 slots + sync = 50 fills the default frame exactly, so
+	// admitting an 8th node cannot fit a schedule and must roll back.
+	cell, err := NewCellWith(CellConfig{Seed: 1},
+		WithNodes(1, 2, 3, 4, 5, 6, 7),
+		WithSlotsPerNode(7),
+		WithPER(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc := testVC(4)
+	if err := cell.Deploy(vc); err != nil {
+		t.Fatal(err)
+	}
+	oldSched := cell.Network().Schedule()
+	before := len(cell.Members())
+	if _, err := cell.AddNodeRuntime(8, vc); err == nil {
+		t.Fatal("AddNodeRuntime succeeded despite full TDMA frame")
+	}
+	if got := len(cell.Members()); got != before {
+		t.Fatalf("member list grew to %d after failed admission", got)
+	}
+	if cell.Medium().Radio(8) != nil {
+		t.Fatal("radio leaked on the medium after failed admission")
+	}
+	if cell.Network().Link(8) != nil {
+		t.Fatal("link leaked after failed admission")
+	}
+	if got := cell.Network().Schedule(); len(got) != len(oldSched) {
+		t.Fatalf("schedule not restored: %d slots, want %d", len(got), len(oldSched))
+	}
+	// The cell still works: a later valid admission is unaffected.
+	cell.Run(time.Second)
+}
+
+func TestBusCancelDuringPublish(t *testing.T) {
+	b := &Bus{}
+	got := make(map[string]int)
+	var subA *Subscription
+	subA = b.Subscribe(func(Event) {
+		got["a"]++
+		subA.Cancel() // self-cancel mid-delivery
+	})
+	b.Subscribe(func(Event) { got["b"]++ })
+	b.Subscribe(func(Event) { got["c"]++ })
+	b.publish(JoinEvent{Node: 1})
+	if got["a"] != 1 || got["b"] != 1 || got["c"] != 1 {
+		t.Fatalf("first publish deliveries = %v, want 1 each", got)
+	}
+	b.publish(JoinEvent{Node: 2})
+	if got["a"] != 1 {
+		t.Fatalf("cancelled subscriber still receiving: %v", got)
+	}
+	if got["b"] != 2 || got["c"] != 2 {
+		t.Fatalf("live subscribers skipped after compaction: %v", got)
+	}
+}
+
+func TestPERBurstRestoresForcedRate(t *testing.T) {
+	cell, err := NewCellWith(CellConfig{Seed: 1}, WithNodes(1, 2, 3, 4), WithPER(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cell.Medium().ForcedPER(); got != 0.3 {
+		t.Fatalf("forced PER = %g, want 0.3", got)
+	}
+	plan := FaultPlan{Steps: []FaultStep{{At: time.Second, PERBurst: &PERBurst{PER: 0.9, For: 2 * time.Second}}}}
+	if err := cell.ApplyFaultPlan(plan); err != nil {
+		t.Fatal(err)
+	}
+	cell.Run(2 * time.Second)
+	if got := cell.Medium().ForcedPER(); got != 0.9 {
+		t.Fatalf("mid-burst forced PER = %g, want 0.9", got)
+	}
+	cell.Run(2 * time.Second)
+	if got := cell.Medium().ForcedPER(); got != 0.3 {
+		t.Fatalf("post-burst forced PER = %g, want the pre-burst 0.3", got)
+	}
+}

@@ -144,24 +144,61 @@ type Cell struct {
 	net   *rtlink.Network
 	ids   []NodeID
 	nodes map[NodeID]*Node
+
+	placement Placement
+	// prng feeds random placements (nil for deterministic ones).
+	prng *sim.RNG
+	bus  *Bus
 }
 
-// NewCell builds a cell with the given member IDs placed on a line with
-// 3 m spacing (well inside radio range) and a full-mesh TDMA schedule.
-func NewCell(cfg CellConfig, ids []NodeID) (*Cell, error) {
-	if len(ids) == 0 {
-		return nil, fmt.Errorf("evm: cell needs at least one node")
+// NewCellWith builds a cell from functional options: membership, node
+// placement, slot budget and channel loss become declarative data.
+//
+//	cell, err := evm.NewCellWith(evm.CellConfig{Seed: 1},
+//		evm.WithNodeCount(20),
+//		evm.WithPlacement(evm.Grid(5, 4)),
+//		evm.WithSlotsPerNode(3),
+//		evm.WithPER(0.1))
+//
+// Defaults: Line(3) placement, the CellConfig slot budget, and the
+// distance-based loss model.
+func NewCellWith(cfg CellConfig, opts ...CellOption) (*Cell, error) {
+	spec := cellSpec{placement: Line(3)}
+	for _, opt := range opts {
+		opt(&spec)
+	}
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	if spec.slotsPerNode > 0 {
+		cfg.SlotsPerNode = spec.slotsPerNode
+	}
+	if spec.hasPER && spec.per == 0 {
+		cfg.PerfectChannel = true
 	}
 	cfg = cfg.withDefaults()
 	eng := sim.New()
 	rng := sim.NewRNG(cfg.Seed)
 	med := radio.NewMedium(eng, rng.Fork(), cfg.Radio)
-	for i, id := range ids {
-		if _, err := med.Attach(id, radio.Position{X: float64(i) * 3}, radio.NewBattery(2600), radio.DefaultEnergyModel()); err != nil {
+	c := &Cell{
+		cfg:       cfg,
+		eng:       eng,
+		rng:       rng,
+		med:       med,
+		ids:       spec.ids,
+		nodes:     make(map[NodeID]*Node),
+		placement: spec.placement,
+		bus:       &Bus{},
+	}
+	if spec.placement.random {
+		c.prng = rng.Fork()
+	}
+	for i, id := range spec.ids {
+		if _, err := med.Attach(id, spec.placement.at(i, c.prng), radio.NewBattery(2600), radio.DefaultEnergyModel()); err != nil {
 			return nil, err
 		}
 	}
-	sched, err := rtlink.BuildMeshScheduleK(ids, cfg.Link, cfg.SlotsPerNode)
+	sched, err := rtlink.BuildMeshScheduleK(spec.ids, cfg.Link, cfg.SlotsPerNode)
 	if err != nil {
 		return nil, err
 	}
@@ -169,20 +206,23 @@ func NewCell(cfg CellConfig, ids []NodeID) (*Cell, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, id := range ids {
+	for _, id := range spec.ids {
 		if _, err := net.Join(id); err != nil {
 			return nil, err
 		}
 	}
-	return &Cell{
-		cfg:   cfg,
-		eng:   eng,
-		rng:   rng,
-		med:   med,
-		net:   net,
-		ids:   append([]NodeID(nil), ids...),
-		nodes: make(map[NodeID]*Node),
-	}, nil
+	c.net = net
+	if spec.hasPER && spec.per > 0 {
+		med.ForcePER(spec.per)
+	}
+	return c, nil
+}
+
+// NewCell builds a cell with the given member IDs placed on a line with
+// 3 m spacing (well inside radio range) and a full-mesh TDMA schedule.
+// It is shorthand for NewCellWith(cfg, WithNodes(ids...)).
+func NewCell(cfg CellConfig, ids []NodeID) (*Cell, error) {
+	return NewCellWith(cfg, WithNodes(ids...))
 }
 
 // Engine returns the virtual-time engine.
@@ -196,6 +236,14 @@ func (c *Cell) Network() *rtlink.Network { return c.net }
 
 // Medium returns the radio medium (for loss injection in experiments).
 func (c *Cell) Medium() *radio.Medium { return c.med }
+
+// Events returns the cell's typed event bus. Subscriptions observe
+// structured FailoverEvent / ActuationEvent / MigrationEvent / JoinEvent /
+// FaultEvent records with virtual timestamps, in deterministic order.
+func (c *Cell) Events() *Bus { return c.bus }
+
+// Members returns the cell member IDs in admission order.
+func (c *Cell) Members() []NodeID { return append([]NodeID(nil), c.ids...) }
 
 // Node returns the EVM runtime deployed on id (nil before Deploy or for
 // the gateway).
@@ -213,9 +261,18 @@ func (c *Cell) Nodes() []*Node {
 }
 
 // Deploy instantiates the EVM runtime on every member except the
-// configured gateway, and starts the TDMA network.
+// configured gateway, and starts the TDMA network. On failure no runtime
+// is left running: nodes started before the error are stopped again.
 func (c *Cell) Deploy(vc VCConfig) error {
 	if err := vc.Validate(); err != nil {
+		return err
+	}
+	var started []NodeID
+	fail := func(err error) error {
+		for _, id := range started {
+			c.nodes[id].Stop()
+			delete(c.nodes, id)
+		}
 		return err
 	}
 	for _, id := range c.ids {
@@ -224,56 +281,96 @@ func (c *Cell) Deploy(vc VCConfig) error {
 		}
 		link := c.net.Link(id)
 		if link == nil {
-			return fmt.Errorf("evm: node %v not joined", id)
+			return fail(fmt.Errorf("evm: node %v not joined", id))
 		}
 		node, err := core.NewNode(c.net, link, vc)
 		if err != nil {
-			return err
+			return fail(err)
 		}
+		c.wireNodeEvents(node)
 		node.Start()
 		c.nodes[id] = node
+		started = append(started, id)
 	}
 	c.net.Start()
 	return nil
 }
 
+// wireNodeEvents connects a node runtime to the cell's event bus.
+func (c *Cell) wireNodeEvents(node *Node) {
+	id := node.ID()
+	node.SetMigrationSink(func(task string, from radio.NodeID) {
+		c.bus.publish(MigrationEvent{At: c.eng.Now(), Task: task, From: from, To: id})
+	})
+	if h := node.Head(); h != nil {
+		h.SetFailoverSink(func(task string, from, to radio.NodeID) {
+			c.bus.publish(FailoverEvent{At: c.eng.Now(), Task: task, From: from, To: to})
+		})
+		h.SetJoinSink(func(member radio.NodeID) {
+			c.bus.publish(JoinEvent{At: c.eng.Now(), Node: member})
+		})
+	}
+}
+
 // AddNodeRuntime admits a new node at runtime: attaches a radio, extends
 // the TDMA schedule with slots for it, joins the link layer and deploys
-// the EVM runtime (on-line capacity expansion, §4.2 objective 2).
+// the EVM runtime (on-line capacity expansion, §4.2 objective 2). The new
+// node is placed by the cell's placement at the next free index. On any
+// failure the cell is rolled back to its previous state — no radio, slot
+// assignment, link or runtime is leaked.
 func (c *Cell) AddNodeRuntime(id NodeID, vc VCConfig) (*Node, error) {
 	if _, exists := c.nodes[id]; exists {
 		return nil, fmt.Errorf("evm: node %v already deployed", id)
 	}
-	pos := radio.Position{X: float64(len(c.ids)) * 3}
+	if c.placement.capacity > 0 && len(c.ids) >= c.placement.capacity {
+		return nil, fmt.Errorf("evm: placement %s is full (%d nodes)", c.placement.name, len(c.ids))
+	}
+	pos := c.placement.at(len(c.ids), c.prng)
 	if _, err := c.med.Attach(id, pos, radio.NewBattery(2600), radio.DefaultEnergyModel()); err != nil {
 		return nil, err
 	}
-	c.ids = append(c.ids, id)
-	sched, err := rtlink.BuildMeshScheduleK(c.ids, c.cfg.Link, c.cfg.SlotsPerNode)
+	oldSched := c.net.Schedule()
+	grown := append(append([]NodeID(nil), c.ids...), id)
+	sched, err := rtlink.BuildMeshScheduleK(grown, c.cfg.Link, c.cfg.SlotsPerNode)
 	if err != nil {
+		c.med.Detach(id)
 		return nil, err
 	}
 	if err := c.net.SetSchedule(sched); err != nil {
+		c.med.Detach(id)
 		return nil, err
 	}
 	link, err := c.net.Join(id)
 	if err != nil {
+		_ = c.net.SetSchedule(oldSched)
+		c.med.Detach(id)
 		return nil, err
+	}
+	rollback := func() {
+		c.net.Leave(id)
+		_ = c.net.SetSchedule(oldSched)
+		c.med.Detach(id)
 	}
 	node, err := core.NewNode(c.net, link, vc)
 	if err != nil {
+		rollback()
 		return nil, err
 	}
-	node.Start()
-	c.nodes[id] = node
 	// Announce to the head.
 	payload, err := wire.Join{Node: uint16(id), CPUCapacity: 1, Battery: 1}.Encode()
 	if err != nil {
+		rollback()
 		return nil, err
 	}
+	c.wireNodeEvents(node)
+	node.Start()
 	if err := link.Send(rtlink.Message{Dst: vc.Head, Kind: wire.KindJoin, Payload: payload}); err != nil {
+		node.Stop()
+		rollback()
 		return nil, err
 	}
+	c.ids = grown
+	c.nodes[id] = node
 	return node, nil
 }
 

@@ -48,11 +48,23 @@ func main() {
 }
 
 func run() error {
-	cell, err := evm.NewCell(evm.CellConfig{Seed: 11, PerfectChannel: true},
-		[]evm.NodeID{gwNode, ctrl1, ctrl2, headN})
+	cell, err := evm.NewCellWith(evm.CellConfig{Seed: 11},
+		evm.WithNodes(gwNode, ctrl1, ctrl2, headN),
+		evm.WithPER(0))
 	if err != nil {
 		return err
 	}
+	// Watch the admission and the state transfer on the typed event bus.
+	cell.Events().Subscribe(func(ev evm.Event) {
+		switch e := ev.(type) {
+		case evm.JoinEvent:
+			fmt.Printf("[%8v] head admitted node %v\n", e.At, e.Node)
+		case evm.MigrationEvent:
+			fmt.Printf("[%8v] task %q migrated %v -> %v\n", e.At, e.Task, e.From, e.To)
+		case evm.FailoverEvent:
+			fmt.Printf("[%8v] master switch: %q %v -> %v\n", e.At, e.Task, e.From, e.To)
+		}
+	})
 	vc := evm.VCConfig{
 		Name:    "capacity",
 		Head:    headN,

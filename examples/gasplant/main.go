@@ -36,6 +36,15 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// Narrate the timeline from the typed event bus as it unfolds.
+	s.Cell.Events().Subscribe(func(ev evm.Event) {
+		switch e := ev.(type) {
+		case evm.FaultEvent:
+			fmt.Printf("[%8v] fault: %s on node %v\n", e.At, e.Kind, e.Node)
+		case evm.FailoverEvent:
+			fmt.Printf("[%8v] failover: %q %v -> %v\n", e.At, e.Task, e.From, e.To)
+		}
+	})
 	res, err := s.RunFig6(*faultAt, *horizon)
 	if err != nil {
 		return err

@@ -48,8 +48,12 @@ func main() {
 }
 
 func run() error {
-	cell, err := evm.NewCell(evm.CellConfig{Seed: 3, PerfectChannel: true},
-		[]evm.NodeID{feeder, station, spare, headN})
+	// The four nodes sit on a 2x2 grid — any placement works for a
+	// single-hop cell; the option form makes the topology explicit data.
+	cell, err := evm.NewCellWith(evm.CellConfig{Seed: 3},
+		evm.WithNodes(feeder, station, spare, headN),
+		evm.WithPlacement(evm.Grid(2, 2)),
+		evm.WithPER(0))
 	if err != nil {
 		return err
 	}

@@ -61,11 +61,18 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	cell, err := evm.NewCell(evm.CellConfig{Seed: 5, PerfectChannel: true},
-		[]evm.NodeID{feeder, ctrl1, ctrl2, headID})
+	cell, err := evm.NewCellWith(evm.CellConfig{Seed: 5},
+		evm.WithNodes(feeder, ctrl1, ctrl2, headID),
+		evm.WithPER(0))
 	if err != nil {
 		return err
 	}
+	// The capsule hand-off is visible on the event bus.
+	cell.Events().Subscribe(func(ev evm.Event) {
+		if e, ok := ev.(evm.MigrationEvent); ok {
+			fmt.Printf("[%8v] state for %q arrived on %v (from %v)\n", e.At, e.Task, e.To, e.From)
+		}
+	})
 	vc := evm.VCConfig{
 		Name: "ota", Head: headID, Gateway: feeder,
 		Tasks: []evm.TaskSpec{{

@@ -2,6 +2,10 @@
 // Component of two controller candidates plus a head, fed by a synthetic
 // sensor. The primary develops a compute fault; the backup detects it by
 // passive observation and the head fails the task over.
+//
+// It showcases the declarative experiment API: the cell is built from
+// functional options, the fault is a FaultPlan applied as data, and all
+// observability rides the typed event bus.
 package main
 
 import (
@@ -26,8 +30,10 @@ func main() {
 }
 
 func run() error {
-	cell, err := evm.NewCell(evm.CellConfig{Seed: 7, PerfectChannel: true},
-		[]evm.NodeID{sensorNode, primary, backup, headNode})
+	cell, err := evm.NewCellWith(evm.CellConfig{Seed: 7},
+		evm.WithNodes(sensorNode, primary, backup, headNode),
+		evm.WithPlacement(evm.Line(3)),
+		evm.WithPER(0))
 	if err != nil {
 		return err
 	}
@@ -70,19 +76,31 @@ func run() error {
 	}
 	defer feed.Stop()
 
-	head := cell.Node(headNode).Head()
-	head.OnFailover = func(task string, from, to evm.NodeID) {
-		fmt.Printf("[%8v] failover: task %q moved %v -> %v\n", cell.Now(), task, from, to)
+	// Observability is a typed event stream, not per-object callbacks.
+	cell.Events().Subscribe(func(ev evm.Event) {
+		switch e := ev.(type) {
+		case evm.FaultEvent:
+			fmt.Printf("[%8v] fault: %s on node %v (task %q -> %.0f)\n", e.At, e.Kind, e.Node, e.Task, e.Value)
+		case evm.FailoverEvent:
+			fmt.Printf("[%8v] failover: task %q moved %v -> %v\n", e.At, e.Task, e.From, e.To)
+		}
+	})
+
+	// The failure timeline is declarative data: at t=10s the primary
+	// starts emitting 75 instead of the correct output.
+	plan := evm.FaultPlan{
+		Name: "byzantine-primary",
+		Steps: []evm.FaultStep{{
+			At:           10 * time.Second,
+			ComputeFault: &evm.ComputeFault{Node: primary, Task: "loop", Output: 75},
+		}},
+	}
+	if err := cell.ApplyFaultPlan(plan); err != nil {
+		return err
 	}
 
-	fmt.Println("running 10s of steady state...")
-	cell.Run(10 * time.Second)
-	fmt.Printf("[%8v] roles: primary=%v backup=%v\n",
-		cell.Now(), cell.Node(primary).Role("loop"), cell.Node(backup).Role("loop"))
-
-	fmt.Println("injecting a compute fault on the primary (it now outputs 75)")
-	cell.Node(primary).InjectComputeFault("loop", 75)
-	cell.Run(20 * time.Second)
+	fmt.Println("running 30s: 10s steady state, then the planned fault...")
+	cell.Run(30 * time.Second)
 
 	fmt.Printf("[%8v] roles: old-primary=%v new-primary=%v\n",
 		cell.Now(), cell.Node(primary).Role("loop"), cell.Node(backup).Role("loop"))

@@ -1,0 +1,3 @@
+module evm
+
+go 1.24

@@ -35,9 +35,27 @@ type Head struct {
 	dormantEvs []*sim.Event
 	stats      HeadStats
 
+	// failoverSink and joinSink are reserved for the public facade's
+	// event bus; user code cannot displace them through the deprecated
+	// callback fields below.
+	failoverSink func(taskID string, from, to radio.NodeID)
+	joinSink     func(id radio.NodeID)
+
 	// OnFailover fires after the head switches a task's master.
+	//
+	// Deprecated: subscribe to the cell's event bus (evm.Cell.Events)
+	// for FailoverEvent instead. The field still fires, after the bus.
 	OnFailover func(taskID string, from, to radio.NodeID)
 }
+
+// SetFailoverSink registers the facade-level failover observer. It is
+// invoked before the deprecated OnFailover field.
+func (h *Head) SetFailoverSink(fn func(taskID string, from, to radio.NodeID)) {
+	h.failoverSink = fn
+}
+
+// SetJoinSink registers the facade-level membership observer.
+func (h *Head) SetJoinSink(fn func(id radio.NodeID)) { h.joinSink = fn }
 
 func newHead(n *Node) *Head {
 	h := &Head{
@@ -188,6 +206,9 @@ func (h *Head) promote(task string, next, old radio.NodeID) {
 		}
 	}
 	h.active[task] = next
+	if h.failoverSink != nil {
+		h.failoverSink(task, old, next)
+	}
 	if h.OnFailover != nil {
 		h.OnFailover(task, old, next)
 	}
@@ -217,6 +238,9 @@ func (h *Head) onJoin(msg rtlink.Message) {
 	h.members[radio.NodeID(j.Node)] = j
 	h.lastHealth[radio.NodeID(j.Node)] = h.node.eng.Now()
 	h.stats.Joins++
+	if h.joinSink != nil {
+		h.joinSink(radio.NodeID(j.Node))
+	}
 }
 
 // SetMode broadcasts a synchronized mode change activating after the

@@ -122,6 +122,9 @@ func (n *Node) onState(msg rtlink.Message) {
 	}
 	r.outSeq = sx.Seq
 	n.stats.MigrationsIn++
+	if n.migrationSink != nil {
+		n.migrationSink(sx.TaskID, msg.Src)
+	}
 	if n.OnMigrationIn != nil {
 		n.OnMigrationIn(sx.TaskID)
 	}

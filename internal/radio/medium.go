@@ -3,6 +3,7 @@ package radio
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"evm/internal/sim"
@@ -121,8 +122,12 @@ type Medium struct {
 	rng    *sim.RNG
 	cfg    Config
 	radios map[NodeID]*Radio
-	links  map[linkKey]*linkState
-	stats  Stats
+	// order lists attached IDs sorted ascending. Every loss/collision
+	// draw iterates radios through it so the PRNG stream assignment is
+	// independent of map layout — same seed, byte-identical runs.
+	order []NodeID
+	links map[linkKey]*linkState
+	stats Stats
 	// forcedPER overrides the distance model when >= 0 (used by
 	// experiments that sweep loss rates directly).
 	forcedPER float64
@@ -154,6 +159,10 @@ func (m *Medium) Stats() Stats { return m.stats }
 // error rate on every link. Pass a negative value to restore the model.
 func (m *Medium) ForcePER(per float64) { m.forcedPER = per }
 
+// ForcedPER returns the forced packet error rate, or a negative value
+// when the distance model is active.
+func (m *Medium) ForcedPER() float64 { return m.forcedPER }
+
 // Attach creates and registers a radio for the node. Attaching a duplicate
 // ID returns an error.
 func (m *Medium) Attach(id NodeID, pos Position, battery *Battery, model EnergyModel) (*Radio, error) {
@@ -170,7 +179,23 @@ func (m *Medium) Attach(id NodeID, pos Position, battery *Battery, model EnergyM
 		model:     model,
 	}
 	m.radios[id] = r
+	at := sort.Search(len(m.order), func(i int) bool { return m.order[i] >= id })
+	m.order = append(m.order, 0)
+	copy(m.order[at+1:], m.order[at:])
+	m.order[at] = id
 	return r, nil
+}
+
+// Detach removes a node's radio from the medium (the rollback of Attach,
+// used when a runtime admission fails partway). Frames still in flight
+// toward the node are silently lost.
+func (m *Medium) Detach(id NodeID) {
+	if _, ok := m.radios[id]; !ok {
+		return
+	}
+	delete(m.radios, id)
+	at := sort.Search(len(m.order), func(i int) bool { return m.order[i] >= id })
+	m.order = append(m.order[:at], m.order[at+1:]...)
 }
 
 // Radio returns the radio attached for id, or nil.
@@ -251,7 +276,8 @@ func (m *Medium) transmit(from *Radio, pkt Packet) (time.Duration, error) {
 	}
 	// Collision marking: any receiver already capturing another frame has
 	// both frames destroyed.
-	for id, r := range m.radios {
+	for _, id := range m.order {
+		r := m.radios[id]
 		if id == from.id {
 			continue
 		}
@@ -270,7 +296,8 @@ func (m *Medium) transmit(from *Radio, pkt Packet) (time.Duration, error) {
 }
 
 func (m *Medium) complete(tx *transmission) {
-	for id, r := range m.radios {
+	for _, id := range m.order {
+		r := m.radios[id]
 		if id == tx.from.id {
 			continue
 		}

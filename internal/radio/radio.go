@@ -153,7 +153,8 @@ func (r *Radio) ClockError() time.Duration {
 // sample. It returns the jitter applied to each node.
 func (m *Medium) BroadcastSync() map[NodeID]time.Duration {
 	out := make(map[NodeID]time.Duration, len(m.radios))
-	for id, r := range m.radios {
+	for _, id := range m.order {
+		r := m.radios[id]
 		if r.failed {
 			continue
 		}

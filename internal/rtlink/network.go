@@ -93,6 +93,18 @@ func (n *Network) Join(id radio.NodeID) (*Link, error) {
 	return l, nil
 }
 
+// Leave removes a node's link layer (the rollback of Join, used when a
+// runtime admission fails partway). The node's radio stays attached; the
+// caller decides whether to detach it from the medium as well.
+func (n *Network) Leave(id radio.NodeID) {
+	l, ok := n.links[id]
+	if !ok {
+		return
+	}
+	l.r.SetHandler(nil)
+	delete(n.links, id)
+}
+
 // Link returns the link layer for id, or nil.
 func (n *Network) Link(id radio.NodeID) *Link { return n.links[id] }
 

@@ -1,0 +1,104 @@
+package evm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// RunSpec names one point of an experiment grid: a registered scenario,
+// a seed, a fault plan and a horizon. Specs are plain data — build them
+// by hand or with SpecGrid and hand them to a Runner.
+type RunSpec struct {
+	Scenario string
+	Seed     uint64
+	// Horizon bounds the run in virtual time (zero = the scenario's
+	// default).
+	Horizon time.Duration
+	// Faults is applied to the scenario's cell before the run starts.
+	Faults FaultPlan
+}
+
+// Label renders the spec as a stable one-line identifier.
+func (s RunSpec) Label() string {
+	return fmt.Sprintf("%s/seed=%d/plan=%s", s.Scenario, s.Seed, s.Faults.Label())
+}
+
+// Experiment is one runnable scenario instance, produced by a
+// ScenarioBuilder. The Runner applies the spec's fault plan, advances the
+// cell to the horizon, collects Metrics and calls Cleanup.
+type Experiment struct {
+	// Cell is the instrumented cell the run advances.
+	Cell *Cell
+	// DefaultHorizon is used when the spec leaves Horizon zero.
+	DefaultHorizon time.Duration
+	// Metrics extracts the per-run measurements after the horizon.
+	Metrics func() map[string]float64
+	// Cleanup releases the experiment (stop feeds, runtimes); may be nil.
+	Cleanup func()
+}
+
+// ScenarioBuilder constructs a fresh Experiment for one spec. Builders
+// must derive every random stream from spec.Seed so equal specs reproduce
+// equal runs, and must not share mutable state between invocations — the
+// Runner calls builders from several goroutines.
+type ScenarioBuilder func(spec RunSpec) (*Experiment, error)
+
+var scenarioRegistry = struct {
+	sync.RWMutex
+	builders map[string]ScenarioBuilder
+}{builders: make(map[string]ScenarioBuilder)}
+
+// RegisterScenario adds a named scenario to the global registry.
+// Registering a duplicate name or a nil builder is an error.
+func RegisterScenario(name string, build ScenarioBuilder) error {
+	if name == "" || build == nil {
+		return fmt.Errorf("evm: scenario needs a name and a builder")
+	}
+	scenarioRegistry.Lock()
+	defer scenarioRegistry.Unlock()
+	if _, dup := scenarioRegistry.builders[name]; dup {
+		return fmt.Errorf("evm: scenario %q already registered", name)
+	}
+	scenarioRegistry.builders[name] = build
+	return nil
+}
+
+// MustRegisterScenario is RegisterScenario that panics on error — for
+// package init blocks.
+func MustRegisterScenario(name string, build ScenarioBuilder) {
+	if err := RegisterScenario(name, build); err != nil {
+		panic(err)
+	}
+}
+
+// Scenarios lists the registered scenario names, sorted.
+func Scenarios() []string {
+	scenarioRegistry.RLock()
+	defer scenarioRegistry.RUnlock()
+	out := make([]string, 0, len(scenarioRegistry.builders))
+	for name := range scenarioRegistry.builders {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BuildScenario instantiates the spec's scenario from the registry.
+func BuildScenario(spec RunSpec) (*Experiment, error) {
+	scenarioRegistry.RLock()
+	build := scenarioRegistry.builders[spec.Scenario]
+	scenarioRegistry.RUnlock()
+	if build == nil {
+		return nil, fmt.Errorf("evm: unknown scenario %q (registered: %v)", spec.Scenario, Scenarios())
+	}
+	exp, err := build(spec)
+	if err != nil {
+		return nil, err
+	}
+	if exp == nil || exp.Cell == nil {
+		return nil, fmt.Errorf("evm: scenario %q built no cell", spec.Scenario)
+	}
+	return exp, nil
+}

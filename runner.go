@@ -1,0 +1,216 @@
+package evm
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RunResult is one completed grid point: the spec, the scenario's metrics
+// and the event counts observed on the cell's bus. Failed runs carry Err
+// and nil metrics.
+type RunResult struct {
+	Spec    RunSpec
+	Err     error
+	Metrics map[string]float64
+}
+
+// Metric keys the Runner derives from the event bus on top of whatever
+// the scenario reports.
+const (
+	MetricFailovers      = "failovers"
+	MetricActuations     = "actuations"
+	MetricMigrations     = "migrations"
+	MetricJoins          = "joins"
+	MetricFaultsInjected = "faults_injected"
+	// MetricFirstFailoverS is the virtual time of the first failover in
+	// seconds (absent when no failover occurred).
+	MetricFirstFailoverS = "first_failover_s"
+)
+
+// Runner executes a grid of RunSpecs across worker goroutines. Every
+// cell's virtual-time engine is single-threaded, so runs shard perfectly:
+// N workers give close to N-fold throughput on multi-core hosts, and the
+// results are identical to serial execution because each run's
+// determinism depends only on its spec.
+type Runner struct {
+	// Workers is the concurrency (default: GOMAXPROCS).
+	Workers int
+}
+
+// Run executes every spec and returns results in spec order. Individual
+// run failures are reported in RunResult.Err; Run itself only allocates.
+func (r *Runner) Run(specs []RunSpec) []RunResult {
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	results := make([]RunResult, len(specs))
+	if len(specs) == 0 {
+		return results
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = runOne(specs[i])
+			}
+		}()
+	}
+	for i := range specs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// runOne executes a single grid point: build, instrument, fault, run,
+// measure, clean up.
+func runOne(spec RunSpec) RunResult {
+	res := RunResult{Spec: spec}
+	exp, err := BuildScenario(spec)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	if exp.Cleanup != nil {
+		defer exp.Cleanup()
+	}
+	counts := map[string]float64{
+		MetricFailovers:      0,
+		MetricActuations:     0,
+		MetricMigrations:     0,
+		MetricJoins:          0,
+		MetricFaultsInjected: 0,
+	}
+	firstFailover := time.Duration(-1)
+	sub := exp.Cell.Events().Subscribe(func(ev Event) {
+		switch ev.(type) {
+		case FailoverEvent:
+			counts[MetricFailovers]++
+			if firstFailover < 0 {
+				firstFailover = ev.When()
+			}
+		case ActuationEvent:
+			counts[MetricActuations]++
+		case MigrationEvent:
+			counts[MetricMigrations]++
+		case JoinEvent:
+			counts[MetricJoins]++
+		case FaultEvent:
+			// Count injections only — clears and restores are the tail
+			// end of a fault already counted.
+			switch ev.(FaultEvent).Kind {
+			case FaultCrash, FaultCompute, FaultPERBurst:
+				counts[MetricFaultsInjected]++
+			}
+		}
+	})
+	defer sub.Cancel()
+	if len(spec.Faults.Steps) > 0 {
+		if err := exp.Cell.ApplyFaultPlan(spec.Faults); err != nil {
+			res.Err = err
+			return res
+		}
+	}
+	horizon := spec.Horizon
+	if horizon <= 0 {
+		horizon = exp.DefaultHorizon
+	}
+	if horizon <= 0 {
+		horizon = time.Minute
+	}
+	exp.Cell.Run(horizon)
+	res.Metrics = counts
+	if firstFailover >= 0 {
+		res.Metrics[MetricFirstFailoverS] = firstFailover.Seconds()
+	}
+	if exp.Metrics != nil {
+		for k, v := range exp.Metrics() {
+			res.Metrics[k] = v
+		}
+	}
+	return res
+}
+
+// SpecGrid crosses scenarios x seeds x fault plans into a flat spec list
+// (the experiment-grid workflow: hundreds of seeded runs as data). A nil
+// or empty plans slice means one fault-free run per scenario/seed pair.
+func SpecGrid(scenarios []string, seeds []uint64, plans []FaultPlan, horizon time.Duration) []RunSpec {
+	if len(plans) == 0 {
+		plans = []FaultPlan{{}}
+	}
+	specs := make([]RunSpec, 0, len(scenarios)*len(seeds)*len(plans))
+	for _, sc := range scenarios {
+		for _, seed := range seeds {
+			for _, plan := range plans {
+				specs = append(specs, RunSpec{Scenario: sc, Seed: seed, Horizon: horizon, Faults: plan})
+			}
+		}
+	}
+	return specs
+}
+
+// MetricSummary aggregates one metric across the runs that reported it.
+type MetricSummary struct {
+	N    int
+	Mean float64
+	Min  float64
+	Max  float64
+}
+
+func (m MetricSummary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f min=%.3f max=%.3f", m.N, m.Mean, m.Min, m.Max)
+}
+
+// Aggregate groups successful results by scenario and summarizes every
+// metric. The outer key is the scenario name, the inner key the metric.
+func Aggregate(results []RunResult) map[string]map[string]MetricSummary {
+	type acc struct {
+		n        int
+		sum      float64
+		min, max float64
+	}
+	accs := make(map[string]map[string]*acc)
+	for _, r := range results {
+		if r.Err != nil || r.Metrics == nil {
+			continue
+		}
+		byMetric := accs[r.Spec.Scenario]
+		if byMetric == nil {
+			byMetric = make(map[string]*acc)
+			accs[r.Spec.Scenario] = byMetric
+		}
+		for k, v := range r.Metrics {
+			a := byMetric[k]
+			if a == nil {
+				byMetric[k] = &acc{n: 1, sum: v, min: v, max: v}
+				continue
+			}
+			a.n++
+			a.sum += v
+			if v < a.min {
+				a.min = v
+			}
+			if v > a.max {
+				a.max = v
+			}
+		}
+	}
+	out := make(map[string]map[string]MetricSummary, len(accs))
+	for sc, byMetric := range accs {
+		out[sc] = make(map[string]MetricSummary, len(byMetric))
+		for k, a := range byMetric {
+			out[sc][k] = MetricSummary{N: a.n, Mean: a.sum / float64(a.n), Min: a.min, Max: a.max}
+		}
+	}
+	return out
+}

@@ -255,9 +255,16 @@ func NewGasPlant(cfg GasPlantConfig) (*GasPlant, error) {
 		return nil, err
 	}
 	s := &GasPlant{Cell: cell, Plant: p, GW: gw, VC: vc, cfg: cfg, rec: trace.NewRecorder()}
-	gw.OnActuate = func(src radio.NodeID, task string, port uint8, value float64) {
-		s.actLatencies = append(s.actLatencies, cell.Now()-gw.LastPollAt())
-	}
+	// Publish accepted actuations on the cell's event bus; the latency
+	// series (experiment E5) is itself a bus subscriber now.
+	gw.SetActuateSink(func(src radio.NodeID, task string, port uint8, value float64) {
+		cell.bus.publish(ActuationEvent{At: cell.Now(), Node: src, Task: task, Port: port, Value: value})
+	})
+	cell.Events().Subscribe(func(ev Event) {
+		if _, ok := ev.(ActuationEvent); ok {
+			s.actLatencies = append(s.actLatencies, cell.Now()-gw.LastPollAt())
+		}
+	})
 
 	// Plant dynamics integrate at a finer step than the control cycle.
 	const plantDT = 50 * time.Millisecond
@@ -299,19 +306,42 @@ func (s *GasPlant) ActuationLatencies() []time.Duration {
 // Run advances the scenario by d.
 func (s *GasPlant) Run(d time.Duration) { s.Cell.Run(d) }
 
+// PrimaryFaultPlan is the Fig. 6 byzantine failure as declarative data:
+// at offset at, Ctrl-A starts emitting the wrong valve output (75%).
+func PrimaryFaultPlan(at time.Duration) FaultPlan {
+	return FaultPlan{
+		Name: "primary-compute",
+		Steps: []FaultStep{{
+			At:           at,
+			ComputeFault: &ComputeFault{Node: GasCtrlAID, Task: LTSTaskID, Output: 75},
+		}},
+	}
+}
+
+// PrimaryCrashPlan crashes Ctrl-A's radio at offset at (silent fault).
+func PrimaryCrashPlan(at time.Duration) FaultPlan {
+	return FaultPlan{
+		Name:  "primary-crash",
+		Steps: []FaultStep{{At: at, CrashNode: GasCtrlAID}},
+	}
+}
+
 // InjectPrimaryFault makes Ctrl-A emit the Fig. 6 wrong output (75%).
 func (s *GasPlant) InjectPrimaryFault() {
-	s.Cell.Node(GasCtrlAID).InjectComputeFault(LTSTaskID, 75)
+	_ = s.Cell.ApplyFaultPlan(PrimaryFaultPlan(0))
 }
 
 // ClearPrimaryFault removes the injected fault.
 func (s *GasPlant) ClearPrimaryFault() {
-	s.Cell.Node(GasCtrlAID).ClearComputeFault(LTSTaskID)
+	_ = s.Cell.ApplyFaultPlan(FaultPlan{
+		Name:  "primary-clear",
+		Steps: []FaultStep{{ClearCompute: &TaskRef{Node: GasCtrlAID, Task: LTSTaskID}}},
+	})
 }
 
 // CrashPrimary fails Ctrl-A's radio (silent crash).
 func (s *GasPlant) CrashPrimary() {
-	s.Cell.Node(GasCtrlAID).Link().Radio().Fail()
+	_ = s.Cell.ApplyFaultPlan(PrimaryCrashPlan(0))
 }
 
 // ActiveController returns the current master for the LTS task.
@@ -342,11 +372,12 @@ func (s *GasPlant) RunFig6(faultAt, horizon time.Duration) (Fig6Result, error) {
 		return Fig6Result{}, fmt.Errorf("evm: fault at %v after horizon %v", faultAt, horizon)
 	}
 	res := Fig6Result{FaultAt: faultAt}
-	s.Cell.Node(GasHeadID).Head().OnFailover = func(task string, from, to NodeID) {
-		if res.FailoverAt == 0 {
+	sub := s.Cell.Events().Subscribe(func(ev Event) {
+		if _, ok := ev.(FailoverEvent); ok && res.FailoverAt == 0 {
 			res.FailoverAt = s.Cell.Now()
 		}
-	}
+	})
+	defer sub.Cancel()
 	s.Run(faultAt)
 	res.LevelBefore = s.Plant.LTSLevelPct()
 	res.FlowNominal = s.Plant.Flows().TowerFeed
