@@ -1,0 +1,173 @@
+package evm
+
+import (
+	"fmt"
+	"time"
+
+	"evm/internal/sim"
+)
+
+// BackboneConfig parameterizes the campus backbone: the wired (or
+// long-range) network bridging cell gateways. Unlike RT-Link slots the
+// backbone is connection-less and always on; transfers pay a fixed
+// one-way latency plus serialization time, and each transfer is lost
+// independently with probability PER (lost transfers retransmit after
+// RetryAfter, up to MaxRetries attempts).
+type BackboneConfig struct {
+	// Latency is the one-way gateway-to-gateway propagation delay.
+	Latency time.Duration
+	// BandwidthBPS is the serialization rate (default: 10 Mbit/s).
+	BandwidthBPS float64
+	// PER is the per-transfer loss probability in [0, 1).
+	PER float64
+	// RetryAfter is the retransmit delay after a lost transfer.
+	RetryAfter time.Duration
+	// MaxRetries bounds retransmissions per transfer.
+	MaxRetries int
+}
+
+// DefaultBackboneConfig returns a campus-Ethernet-like backbone: 20 ms
+// one-way latency (plant backhaul, not a LAN switch), 10 Mbit/s, lossless.
+func DefaultBackboneConfig() BackboneConfig {
+	return BackboneConfig{
+		Latency:      20 * time.Millisecond,
+		BandwidthBPS: 10_000_000,
+		PER:          0,
+		RetryAfter:   100 * time.Millisecond,
+		MaxRetries:   10,
+	}
+}
+
+func (c BackboneConfig) withDefaults() BackboneConfig {
+	d := DefaultBackboneConfig()
+	if c.Latency <= 0 {
+		c.Latency = d.Latency
+	}
+	if c.BandwidthBPS <= 0 {
+		c.BandwidthBPS = d.BandwidthBPS
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = d.RetryAfter
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = d.MaxRetries
+	}
+	return c
+}
+
+func (c BackboneConfig) validate() error {
+	if c.PER < 0 || c.PER >= 1 {
+		return fmt.Errorf("evm: backbone PER %g outside [0,1)", c.PER)
+	}
+	return nil
+}
+
+// BackboneStats counts backbone activity.
+type BackboneStats struct {
+	Sent      int
+	Delivered int
+	Dropped   int
+	Failed    int
+}
+
+// Backbone is the inter-cell network of a Campus: a full mesh of
+// latency/loss-modeled links between cell gateways, running on the
+// shared simulation engine with its own PRNG fork so loss draws never
+// perturb any cell's radio stream.
+type Backbone struct {
+	eng   *sim.Engine
+	rng   *sim.RNG
+	cfg   BackboneConfig
+	names []string
+	bus   *Bus
+	stats BackboneStats
+}
+
+func newBackbone(eng *sim.Engine, rng *sim.RNG, cfg BackboneConfig, names []string, bus *Bus) *Backbone {
+	return &Backbone{eng: eng, rng: rng, cfg: cfg, names: names, bus: bus}
+}
+
+// Config returns the backbone configuration.
+func (b *Backbone) Config() BackboneConfig { return b.cfg }
+
+// Stats returns a copy of the backbone counters.
+func (b *Backbone) Stats() BackboneStats { return b.stats }
+
+// transferTime returns latency plus serialization for a payload.
+func (b *Backbone) transferTime(bytes int) time.Duration {
+	ser := time.Duration(float64(bytes*8) / b.cfg.BandwidthBPS * float64(time.Second))
+	return b.cfg.Latency + ser
+}
+
+// Send ships payload from one cell's gateway to another's. onDeliver
+// runs when the transfer arrives; onFail runs if every retransmission is
+// lost (both may be nil). Every attempt publishes a BackboneEvent on the
+// campus bus.
+func (b *Backbone) Send(from, to int, payload []byte, onDeliver func([]byte), onFail func()) {
+	b.attempt(from, to, payload, 0, onDeliver, onFail)
+}
+
+func (b *Backbone) attempt(from, to int, payload []byte, try int, onDeliver func([]byte), onFail func()) {
+	b.stats.Sent++
+	b.bus.publish(BackboneEvent{
+		At: b.eng.Now(), From: b.names[from], To: b.names[to], Kind: BackboneSend, Bytes: len(payload),
+	})
+	b.eng.After(b.transferTime(len(payload)), func() {
+		if b.cfg.PER > 0 && b.rng.Bool(b.cfg.PER) {
+			b.stats.Dropped++
+			b.bus.publish(BackboneEvent{
+				At: b.eng.Now(), From: b.names[from], To: b.names[to], Kind: BackboneDrop, Bytes: len(payload),
+			})
+			if try+1 > b.cfg.MaxRetries {
+				b.stats.Failed++
+				b.bus.publish(BackboneEvent{
+					At: b.eng.Now(), From: b.names[from], To: b.names[to], Kind: BackboneFail, Bytes: len(payload),
+				})
+				if onFail != nil {
+					onFail()
+				}
+				return
+			}
+			b.eng.After(b.cfg.RetryAfter, func() {
+				b.attempt(from, to, payload, try+1, onDeliver, onFail)
+			})
+			return
+		}
+		b.stats.Delivered++
+		b.bus.publish(BackboneEvent{
+			At: b.eng.Now(), From: b.names[from], To: b.names[to], Kind: BackboneDeliver, Bytes: len(payload),
+		})
+		if onDeliver != nil {
+			onDeliver(payload)
+		}
+	})
+}
+
+// BackboneEventKind classifies a BackboneEvent.
+type BackboneEventKind string
+
+// Backbone event kinds.
+const (
+	BackboneSend    BackboneEventKind = "send"
+	BackboneDeliver BackboneEventKind = "deliver"
+	BackboneDrop    BackboneEventKind = "drop"
+	BackboneFail    BackboneEventKind = "fail"
+)
+
+// BackboneEvent fires for every backbone transfer attempt, delivery and
+// loss. From/To are cell names.
+type BackboneEvent struct {
+	At    time.Duration
+	From  string
+	To    string
+	Kind  BackboneEventKind
+	Bytes int
+}
+
+// When implements Event.
+func (e BackboneEvent) When() time.Duration { return e.At }
+
+// String implements Event.
+func (e BackboneEvent) String() string {
+	return fmt.Sprintf("%v backbone kind=%s from=%s to=%s bytes=%d", e.At, e.Kind, e.From, e.To, e.Bytes)
+}

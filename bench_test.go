@@ -63,11 +63,11 @@ func BenchmarkFailoverLatency(b *testing.B) {
 				s.Run(30 * time.Second)
 				faultAt := s.Cell.Now()
 				var failAt time.Duration
-				s.Cell.Node(GasHeadID).Head().OnFailover = func(string, NodeID, NodeID) {
-					if failAt == 0 {
+				s.Cell.Events().Subscribe(func(ev Event) {
+					if _, ok := ev.(FailoverEvent); ok && failAt == 0 {
 						failAt = s.Cell.Now()
 					}
-				}
+				})
 				s.InjectPrimaryFault()
 				s.Run(60 * time.Second)
 				if failAt > 0 {
@@ -207,7 +207,11 @@ func BenchmarkMigrationCost(b *testing.B) {
 				cell.Run(time.Second)
 				start := cell.Now()
 				var done time.Duration
-				cell.Node(3).OnMigrationIn = func(string) { done = cell.Now() }
+				cell.Events().Subscribe(func(ev Event) {
+					if _, ok := ev.(MigrationEvent); ok && done == 0 {
+						done = cell.Now()
+					}
+				})
 				if err := cell.Node(2).MigrateTask("t", 3); err != nil {
 					b.Fatal(err)
 				}
@@ -441,11 +445,11 @@ func BenchmarkDetectionPolicy(b *testing.B) {
 					b.Fatal(err)
 				}
 				var failAt time.Duration
-				s.Cell.Node(GasHeadID).Head().OnFailover = func(string, NodeID, NodeID) {
-					if failAt == 0 {
+				s.Cell.Events().Subscribe(func(ev Event) {
+					if _, ok := ev.(FailoverEvent); ok && failAt == 0 {
 						failAt = s.Cell.Now()
 					}
-				}
+				})
 				s.Run(30 * time.Second)
 				faultAt := s.Cell.Now()
 				if sc.crash {

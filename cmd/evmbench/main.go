@@ -9,6 +9,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"runtime"
 	"sort"
 	"time"
@@ -24,14 +25,15 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (e1..e10 or all)")
+	exp := flag.String("exp", "all", "experiment to run (e1..e10, fed, grid or all)")
+	flag.StringVar(&eventDir, "events", "", "directory for per-run event CSVs from the grid sweep (empty = off)")
 	flag.Parse()
 	experiments := map[string]func() error{
 		"e1": e1Fig6, "e2": e2Failover, "e3": e3MACLifetime, "e4": e4SyncJitter,
 		"e5": e5ControlCycle, "e6": e6Migration, "e7": e7BQP, "e8": e8Degradation,
-		"e9": e9Admission, "e10": e10Attestation, "grid": gridSweep,
+		"e9": e9Admission, "e10": e10Attestation, "fed": fedCampus, "grid": gridSweep,
 	}
-	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "grid"}
+	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "fed", "grid"}
 	if *exp != "all" {
 		fn, ok := experiments[*exp]
 		if !ok {
@@ -453,6 +455,77 @@ func e10Attestation() error {
 	return nil
 }
 
+// eventDir is the -events flag: per-run event CSV capture for the grid.
+var eventDir string
+
+// fedCampus demonstrates the federation subsystem: the two-cell
+// campus-failover scenario (one cell dies wholesale, its loop resumes
+// across the backbone) plus a seeded refinery sweep under a whole-cell
+// kill plan on the parallel Runner.
+func fedCampus() error {
+	header("FED", "campus federation: whole-cell outage -> backbone escalation")
+	exp, err := evm.BuildScenario(evm.RunSpec{Scenario: evm.ScenarioCampusFailover, Seed: 1})
+	if err != nil {
+		return err
+	}
+	defer exp.Cleanup()
+	var overloadAt, migratedAt time.Duration
+	var mig evm.InterCellMigrationEvent
+	resumed := 0
+	exp.Campus.Events().Subscribe(func(ev evm.Event) {
+		switch e := ev.(type) {
+		case evm.CellOverloadEvent:
+			if overloadAt == 0 {
+				overloadAt = e.At
+			}
+		case evm.InterCellMigrationEvent:
+			if migratedAt == 0 {
+				migratedAt, mig = e.At, e
+			}
+		case evm.CellEvent:
+			if act, ok := e.Inner.(evm.ActuationEvent); ok && act.Task == "w-loop" && e.Cell == "east" {
+				resumed++
+			}
+		}
+	})
+	exp.Campus.Run(30 * time.Second)
+	if migratedAt == 0 {
+		return fmt.Errorf("fed: whole-cell outage produced no inter-cell migration")
+	}
+	fmt.Printf("  cell west killed              10s\n")
+	fmt.Printf("  overload detected         %8v\n", overloadAt)
+	fmt.Printf("  task resumed in peer      %8v   (%s: %s/%d -> %s/%d)\n",
+		migratedAt, mig.Task, mig.FromCell, mig.From, mig.ToCell, mig.To)
+	fmt.Printf("  actuations after failover %8d   (from cell east)\n", resumed)
+	bb := exp.Campus.Backbone().Stats()
+	fmt.Printf("  backbone sent/delivered   %5d/%d\n", bb.Sent, bb.Delivered)
+
+	// Refinery sweep: 4 cells x 16 nodes, kill unit-a at 10s, 4 seeds.
+	kill := evm.KillNodesPlan("kill-unit-a", 10*time.Second, evm.RefineryMembers()...)
+	specs := make([]evm.RunSpec, 0, 4)
+	for seed := uint64(1); seed <= 4; seed++ {
+		specs = append(specs, evm.RunSpec{
+			Scenario: evm.ScenarioRefinery, Seed: seed, Horizon: 25 * time.Second,
+			Faults: kill, FaultCell: "unit-a",
+		})
+	}
+	start := time.Now()
+	results := (&evm.Runner{}).Run(specs)
+	elapsed := time.Since(start)
+	for _, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("%s: %w", r.Spec.Label(), r.Err)
+		}
+	}
+	agg := evm.Aggregate(results)[evm.ScenarioRefinery]
+	fmt.Printf("  refinery sweep: %d runs (4 cells x 16 nodes) in %v wall\n",
+		len(results), elapsed.Round(time.Millisecond))
+	fmt.Printf("    intercell migrations  %s\n", agg[evm.MetricInterCellMigrations])
+	fmt.Printf("    tasks alive at end    %s\n", agg["tasks_alive"])
+	fmt.Printf("    backbone delivered    %s\n", agg[evm.MetricBackboneDelivered])
+	return nil
+}
+
 // gridSweep exercises the scenario registry and the parallel Runner: a
 // scenario x seed x fault-plan grid fans out across worker goroutines and
 // the per-run metrics are aggregated per scenario (the ROADMAP's
@@ -469,13 +542,22 @@ func gridSweep() error {
 		Name:  "crash-2",
 		Steps: []evm.FaultStep{{At: 10 * time.Second, CrashNode: 2}},
 	}
-	scenarios := []string{evm.ScenarioGasPlant, evm.ScenarioEightController, evm.ScenarioCapacity}
+	scenarios := []string{
+		evm.ScenarioGasPlant, evm.ScenarioEightController, evm.ScenarioCapacity,
+		evm.ScenarioCampusFailover, evm.ScenarioRefinery,
+	}
 	specs := evm.SpecGrid(scenarios,
 		[]uint64{1, 2, 3, 4},
 		[]evm.FaultPlan{{}, crash},
 		60*time.Second)
+	if eventDir != "" {
+		if err := os.MkdirAll(eventDir, 0o755); err != nil {
+			return err
+		}
+		fmt.Printf("  per-run event CSVs -> %s\n", eventDir)
+	}
 	start := time.Now()
-	results := (&evm.Runner{Workers: workers}).Run(specs)
+	results := (&evm.Runner{Workers: workers, EventDir: eventDir}).Run(specs)
 	elapsed := time.Since(start)
 	failed := 0
 	for _, r := range results {
@@ -493,7 +575,8 @@ func gridSweep() error {
 			continue
 		}
 		fmt.Printf("  %-18s", sc)
-		keys := []string{evm.MetricFailovers, evm.MetricActuations, "coverage", "lts_level_pct", "members"}
+		keys := []string{evm.MetricFailovers, evm.MetricActuations, "coverage", "lts_level_pct", "members",
+			evm.MetricInterCellMigrations, "tasks_alive"}
 		shown := 0
 		for _, k := range keys {
 			if m, has := sum[k]; has {

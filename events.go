@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strconv"
 	"time"
+
+	"evm/internal/trace"
 )
 
 // Event is one structured observation from a cell, stamped with virtual
@@ -11,9 +13,9 @@ import (
 // engine, so subscription callbacks see them in deterministic order: two
 // runs with equal seeds produce byte-identical event streams.
 //
-// The event bus replaces the deprecated per-object callback fields
-// (Head.OnFailover, Gateway.OnActuate, Node.OnMigrationIn), which remain
-// as thin adapters during the deprecation window.
+// The event bus is the only observation surface: the per-object callback
+// fields it replaced (Head.OnFailover, Gateway.OnActuate,
+// Node.OnMigrationIn) have been removed.
 type Event interface {
 	// When returns the virtual time at which the event occurred.
 	When() time.Duration
@@ -99,6 +101,8 @@ const (
 	FaultComputeClear FaultKind = "compute-clear"
 	FaultPERBurst     FaultKind = "per-burst"
 	FaultPERRestore   FaultKind = "per-restore"
+	FaultBatteryDrain FaultKind = "battery-drain"
+	FaultClockDrift   FaultKind = "clock-drift"
 )
 
 // FaultEvent fires when a fault-plan step executes against the cell.
@@ -244,3 +248,45 @@ func (l *EventLog) Count(pred func(Event) bool) int {
 
 // Close stops recording.
 func (l *EventLog) Close() { l.sub.Cancel() }
+
+// Recorder renders the log as trace time series: one cumulative counter
+// per event type, sampled at every event's virtual timestamp. Campus
+// streams are counted by their inner event type (CellEvent unwrapped).
+// Equal-seed runs produce byte-identical CSV from Recorder().WriteCSV.
+func (l *EventLog) Recorder() *trace.Recorder {
+	rec := trace.NewRecorder()
+	counts := make(map[string]float64)
+	for _, ev := range l.events {
+		name := eventSeriesName(ev)
+		counts[name]++
+		rec.Series(name).Add(ev.When(), counts[name])
+	}
+	return rec
+}
+
+// eventSeriesName maps an event to its Recorder series.
+func eventSeriesName(ev Event) string {
+	if ce, ok := ev.(CellEvent); ok {
+		return eventSeriesName(ce.Inner)
+	}
+	switch ev.(type) {
+	case FailoverEvent:
+		return "failovers"
+	case ActuationEvent:
+		return "actuations"
+	case MigrationEvent:
+		return "migrations"
+	case JoinEvent:
+		return "joins"
+	case FaultEvent:
+		return "faults"
+	case InterCellMigrationEvent:
+		return "intercell_migrations"
+	case CellOverloadEvent:
+		return "cell_overloads"
+	case BackboneEvent:
+		return "backbone_transfers"
+	default:
+		return "other"
+	}
+}

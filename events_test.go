@@ -93,7 +93,10 @@ func TestEventBusJoinAndMigration(t *testing.T) {
 	}
 }
 
-func TestDeprecatedCallbacksStillFire(t *testing.T) {
+// TestBatteryDrainFaultTriggersEnergyFailover covers the battery-drain
+// fault kind end to end: draining the primary below the 5% threshold
+// makes the head migrate its duties proactively (§3.1.1 op 5).
+func TestBatteryDrainFaultTriggersEnergyFailover(t *testing.T) {
 	cell, err := NewCellWith(CellConfig{Seed: 7}, WithNodes(1, 2, 3, 4), WithPER(0))
 	if err != nil {
 		t.Fatal(err)
@@ -102,21 +105,66 @@ func TestDeprecatedCallbacksStillFire(t *testing.T) {
 		t.Fatal(err)
 	}
 	startFeed(t, cell)
-	var busSaw, callbackSaw bool
-	cell.Events().Subscribe(func(ev Event) {
-		if _, ok := ev.(FailoverEvent); ok {
-			busSaw = true
-		}
-	})
-	cell.Node(4).Head().OnFailover = func(string, NodeID, NodeID) { callbackSaw = true }
-	cell.Run(5 * time.Second)
-	cell.Node(2).InjectComputeFault("loop", 75)
-	cell.Run(20 * time.Second)
-	if !busSaw {
-		t.Fatal("event bus missed the failover")
+	log := cell.Events().Log()
+	plan := FaultPlan{
+		Name: "energy",
+		Steps: []FaultStep{{
+			At:           2 * time.Second,
+			BatteryDrain: &BatteryDrain{Node: 2, Fraction: 0.97},
+		}},
 	}
-	if !callbackSaw {
-		t.Fatal("deprecated OnFailover adapter no longer fires")
+	if err := cell.ApplyFaultPlan(plan); err != nil {
+		t.Fatal(err)
+	}
+	cell.Run(10 * time.Second)
+	drains := log.Count(func(ev Event) bool {
+		f, ok := ev.(FaultEvent)
+		return ok && f.Kind == FaultBatteryDrain && f.Node == 2
+	})
+	if drains != 1 {
+		t.Fatalf("battery-drain fault events = %d, want 1", drains)
+	}
+	var fo *FailoverEvent
+	for _, ev := range log.Events() {
+		if f, ok := ev.(FailoverEvent); ok {
+			fo = &f
+			break
+		}
+	}
+	if fo == nil {
+		t.Fatal("no proactive failover after draining the primary's battery")
+	}
+	if fo.From != 2 || fo.To != 3 {
+		t.Fatalf("energy failover = %+v, want 2->3", fo)
+	}
+}
+
+// TestClockDriftFaultSetsOscillator covers the clock-drift fault kind:
+// the step publishes a FaultEvent and the node's clock error grows with
+// time since the last sync pulse.
+func TestClockDriftFaultSetsOscillator(t *testing.T) {
+	cell, err := NewCellWith(CellConfig{Seed: 7}, WithNodes(1, 2, 3, 4), WithPER(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cell.Deploy(testVC(4)); err != nil {
+		t.Fatal(err)
+	}
+	log := cell.Events().Log()
+	plan := FaultPlan{
+		Name:  "drift",
+		Steps: []FaultStep{{At: time.Second, ClockDrift: &ClockDrift{Node: 3, PPM: 500}}},
+	}
+	if err := cell.ApplyFaultPlan(plan); err != nil {
+		t.Fatal(err)
+	}
+	cell.Run(5 * time.Second)
+	drifts := log.Count(func(ev Event) bool {
+		f, ok := ev.(FaultEvent)
+		return ok && f.Kind == FaultClockDrift && f.Node == 3 && f.Value == 500
+	})
+	if drifts != 1 {
+		t.Fatalf("clock-drift fault events = %d, want 1", drifts)
 	}
 }
 

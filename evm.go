@@ -135,8 +135,12 @@ func (c CellConfig) withDefaults() CellConfig {
 }
 
 // Cell is one synchronized TDMA cell: the engine, medium, network and the
-// EVM runtimes deployed on it.
+// EVM runtimes deployed on it. Standalone cells own their engine; cells
+// inside a Campus share the campus engine (one virtual timeline) while
+// keeping a private radio medium and PRNG fork, so cells never hear each
+// other on the air.
 type Cell struct {
+	name  string
 	cfg   CellConfig
 	eng   *sim.Engine
 	rng   *sim.RNG
@@ -170,6 +174,14 @@ func NewCellWith(cfg CellConfig, opts ...CellOption) (*Cell, error) {
 	if err := spec.validate(); err != nil {
 		return nil, err
 	}
+	return newCell("", sim.New(), sim.NewRNG(cfg.Seed), cfg, spec)
+}
+
+// newCell builds a cell on the given engine and RNG stream. NewCellWith
+// passes a fresh engine; NewCampus passes the shared campus engine and a
+// per-cell fork of the campus RNG, giving every cell an isolated medium
+// and loss stream on one deterministic timeline.
+func newCell(name string, eng *sim.Engine, rng *sim.RNG, cfg CellConfig, spec cellSpec) (*Cell, error) {
 	if spec.slotsPerNode > 0 {
 		cfg.SlotsPerNode = spec.slotsPerNode
 	}
@@ -177,10 +189,9 @@ func NewCellWith(cfg CellConfig, opts ...CellOption) (*Cell, error) {
 		cfg.PerfectChannel = true
 	}
 	cfg = cfg.withDefaults()
-	eng := sim.New()
-	rng := sim.NewRNG(cfg.Seed)
 	med := radio.NewMedium(eng, rng.Fork(), cfg.Radio)
 	c := &Cell{
+		name:      name,
 		cfg:       cfg,
 		eng:       eng,
 		rng:       rng,
@@ -224,6 +235,9 @@ func NewCellWith(cfg CellConfig, opts ...CellOption) (*Cell, error) {
 func NewCell(cfg CellConfig, ids []NodeID) (*Cell, error) {
 	return NewCellWith(cfg, WithNodes(ids...))
 }
+
+// Name returns the cell's campus name ("" for standalone cells).
+func (c *Cell) Name() string { return c.name }
 
 // Engine returns the virtual-time engine.
 func (c *Cell) Engine() *sim.Engine { return c.eng }
@@ -292,8 +306,37 @@ func (c *Cell) Deploy(vc VCConfig) error {
 		c.nodes[id] = node
 		started = append(started, id)
 	}
+	c.installActuationSink(vc.Gateway)
 	c.net.Start()
 	return nil
+}
+
+// installActuationSink puts a minimal actuation receiver on a gateway
+// node that hosts no runtime: accepted actuations are published as
+// ActuationEvent on the cell's bus, so synthetic-feed scenarios observe
+// the control loop closing just like the gas-plant gateway does. A full
+// gateway runtime (gateway.New) installs its own handler and replaces
+// the sink.
+func (c *Cell) installActuationSink(gw NodeID) {
+	if gw == 0 || c.nodes[gw] != nil {
+		return
+	}
+	link := c.net.Link(gw)
+	if link == nil {
+		return
+	}
+	link.SetHandler(func(msg rtlink.Message) {
+		if msg.Kind != wire.KindActuate {
+			return
+		}
+		act, err := wire.DecodeActuate(msg.Payload)
+		if err != nil {
+			return
+		}
+		c.bus.publish(ActuationEvent{
+			At: c.eng.Now(), Node: msg.Src, Task: act.TaskID, Port: act.Port, Value: act.Value,
+		})
+	})
 }
 
 // wireNodeEvents connects a node runtime to the cell's event bus.

@@ -29,6 +29,25 @@ type PERBurst struct {
 	For time.Duration
 }
 
+// BatteryDrain instantly consumes a fraction of a node's battery
+// capacity (internal/radio/energy.go). Draining a primary below the 5%
+// threshold exercises the head's proactive energy fail-over (§3.1.1
+// op 5): the next health bundle reports the low charge and the head
+// migrates the node's duties away.
+type BatteryDrain struct {
+	Node NodeID
+	// Fraction of total capacity to consume, in (0, 1].
+	Fraction float64
+}
+
+// ClockDrift sets a node's oscillator drift in parts per million. The
+// drift accumulates between AM sync pulses, degrading the node's slot
+// alignment the longer it goes unsynchronized.
+type ClockDrift struct {
+	Node NodeID
+	PPM  float64
+}
+
 // FaultStep is one timed entry of a FaultPlan. At is relative to the
 // moment the plan is applied. Any combination of the action fields may be
 // set; they execute in declaration order and each emits a FaultEvent on
@@ -45,6 +64,10 @@ type FaultStep struct {
 	ClearCompute *TaskRef
 	// PERBurst forces cell-wide packet loss for a window.
 	PERBurst *PERBurst
+	// BatteryDrain consumes part of a node's battery instantly.
+	BatteryDrain *BatteryDrain
+	// ClockDrift sets a node's oscillator drift.
+	ClockDrift *ClockDrift
 }
 
 // FaultPlan is a declarative fault-injection schedule applied to a cell.
@@ -97,6 +120,17 @@ func (p FaultPlan) validate(c *Cell) error {
 				return fmt.Errorf("evm: fault step %d PER burst needs a positive window", i)
 			}
 		}
+		if bd := st.BatteryDrain; bd != nil {
+			if c.med.Radio(bd.Node) == nil {
+				return fmt.Errorf("evm: fault step %d drains unknown node %v", i, bd.Node)
+			}
+			if bd.Fraction <= 0 || bd.Fraction > 1 {
+				return fmt.Errorf("evm: fault step %d drain fraction %g outside (0,1]", i, bd.Fraction)
+			}
+		}
+		if cd := st.ClockDrift; cd != nil && c.med.Radio(cd.Node) == nil {
+			return fmt.Errorf("evm: fault step %d drifts unknown node %v", i, cd.Node)
+		}
 	}
 	return nil
 }
@@ -145,6 +179,18 @@ func (c *Cell) runFaultStep(st FaultStep) {
 		if n := c.nodes[cl.Node]; n != nil {
 			n.ClearComputeFault(cl.Task)
 			c.bus.publish(FaultEvent{At: c.eng.Now(), Kind: FaultComputeClear, Node: cl.Node, Task: cl.Task})
+		}
+	}
+	if bd := st.BatteryDrain; bd != nil {
+		if r := c.med.Radio(bd.Node); r != nil && r.Battery() != nil {
+			r.Battery().ConsumeFraction(bd.Fraction)
+			c.bus.publish(FaultEvent{At: c.eng.Now(), Kind: FaultBatteryDrain, Node: bd.Node, Value: bd.Fraction})
+		}
+	}
+	if cd := st.ClockDrift; cd != nil {
+		if r := c.med.Radio(cd.Node); r != nil {
+			r.SetDriftPPM(cd.PPM)
+			c.bus.publish(FaultEvent{At: c.eng.Now(), Kind: FaultClockDrift, Node: cd.Node, Value: cd.PPM})
 		}
 	}
 	if b := st.PERBurst; b != nil {

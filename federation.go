@@ -1,0 +1,548 @@
+package evm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"evm/internal/sim"
+	"evm/internal/wire"
+)
+
+// FeedSpec declares a synthetic sensor feed for one cell: Source
+// broadcasts Sample() every Period, standing in for a plant gateway.
+type FeedSpec struct {
+	Source NodeID
+	Period time.Duration
+	Sample func() []SensorReading
+}
+
+// CellSpec declares one cell of a Campus: its name, topology options,
+// Virtual Component and optional synthetic feed. Specs are data — a
+// campus topology is a list of them.
+type CellSpec struct {
+	// Name identifies the cell in campus events ("cell-<i>" if empty).
+	Name string
+	// Config is the cell's TDMA/radio configuration. Seed is ignored:
+	// campus cells draw from forks of the campus seed so the whole
+	// campus reproduces from one number.
+	Config CellConfig
+	// Options configure membership and placement (WithNodes, WithPlacement...).
+	Options []CellOption
+	// VC is the cell's Virtual Component, deployed at construction.
+	VC VCConfig
+	// Feed, when set, starts a synthetic sensor feed on the cell.
+	Feed *FeedSpec
+}
+
+// CampusConfig parameterizes a Campus.
+type CampusConfig struct {
+	// Seed drives every random stream of every cell and the backbone;
+	// equal seeds reproduce campuses bit-for-bit.
+	Seed uint64
+	// Backbone configures the inter-cell network (zero value = defaults).
+	Backbone BackboneConfig
+	// CheckPeriod is the federation coordinator's scan-and-checkpoint
+	// cadence (default 1 s): each tick snapshots every task's state and
+	// escalates fail-over for stranded tasks.
+	CheckPeriod time.Duration
+}
+
+// taskPlacement is the coordinator's view of one control task: where it
+// runs now, its origin cell, and the latest state checkpoint used for
+// cross-cell transfer.
+type taskPlacement struct {
+	origin int // cell index the task was declared in
+	cell   int // cell index the task currently runs in
+	node   NodeID
+	spec   TaskSpec
+
+	export    wire.TaskExport // latest checkpoint
+	have      bool
+	foreign   bool // true once migrated out of its origin cell
+	migrating bool // transfer in flight on the backbone
+	dest      int  // destination cell of the in-flight transfer
+}
+
+// Campus federates N cells into one schedulable, fault-tolerant system:
+// every cell keeps its own radio medium, TDMA network and Virtual
+// Component, all driven by one shared simulation engine; a Backbone
+// bridges the cell gateways; and the federation coordinator escalates
+// fail-over across cells — when a cell exhausts local migration
+// candidates (or its head dies), the task capsule is checkpointed,
+// shipped over the backbone and re-deployed in a peer cell.
+//
+// All cell event streams, plus the campus-level CellOverloadEvent,
+// InterCellMigrationEvent and BackboneEvent, merge into one
+// deterministic campus event stream (Events): equal seeds reproduce the
+// merged stream byte for byte.
+type Campus struct {
+	cfg      CampusConfig
+	eng      *sim.Engine
+	rng      *sim.RNG
+	cells    []*Cell
+	specs    []CellSpec
+	byName   map[string]int
+	backbone *Backbone
+	busImpl  *Bus
+
+	placements map[string]*taskPlacement // key: originCell + "/" + taskID
+	feeds      []*sim.Ticker
+	ticker     *sim.Ticker
+}
+
+// NewCampus builds the federation: cells in spec order on one shared
+// engine (each with a forked RNG and private radio medium), deployed
+// VCs, synthetic feeds, the backbone, and the coordinator.
+func NewCampus(cfg CampusConfig, specs ...CellSpec) (*Campus, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("evm: campus needs at least one cell")
+	}
+	if cfg.CheckPeriod <= 0 {
+		cfg.CheckPeriod = time.Second
+	}
+	cfg.Backbone = cfg.Backbone.withDefaults()
+	if err := cfg.Backbone.validate(); err != nil {
+		return nil, err
+	}
+	c := &Campus{
+		cfg:        cfg,
+		eng:        sim.New(),
+		rng:        sim.NewRNG(cfg.Seed),
+		byName:     make(map[string]int, len(specs)),
+		placements: make(map[string]*taskPlacement),
+	}
+	names := make([]string, len(specs))
+	for i, cs := range specs {
+		name := cs.Name
+		if name == "" {
+			name = fmt.Sprintf("cell-%d", i)
+		}
+		if _, dup := c.byName[name]; dup {
+			return nil, fmt.Errorf("evm: duplicate cell name %q", name)
+		}
+		c.byName[name] = i
+		names[i] = name
+
+		spec := cellSpec{placement: Line(3)}
+		for _, opt := range cs.Options {
+			opt(&spec)
+		}
+		if err := spec.validate(); err != nil {
+			return nil, fmt.Errorf("evm: cell %s: %w", name, err)
+		}
+		cell, err := newCell(name, c.eng, c.rng.Fork(), cs.Config, spec)
+		if err != nil {
+			c.Stop()
+			return nil, fmt.Errorf("evm: cell %s: %w", name, err)
+		}
+		c.cells = append(c.cells, cell)
+		c.specs = append(c.specs, cs)
+		// Merge the cell's events into the campus stream, tagged with
+		// the cell name. Cells share one engine, so the merged order is
+		// the global virtual-time order and fully deterministic.
+		cellName := name
+		cell.Events().Subscribe(func(ev Event) {
+			c.bus().publish(CellEvent{Cell: cellName, Inner: ev})
+		})
+		if err := cell.Deploy(cs.VC); err != nil {
+			c.Stop()
+			return nil, fmt.Errorf("evm: cell %s: %w", name, err)
+		}
+		if f := cs.Feed; f != nil {
+			tk, err := cell.StartSensorFeed(f.Source, f.Period, f.Sample)
+			if err != nil {
+				c.Stop()
+				return nil, fmt.Errorf("evm: cell %s feed: %w", name, err)
+			}
+			c.feeds = append(c.feeds, tk)
+		}
+		for _, t := range cs.VC.Tasks {
+			// Task IDs must be campus-unique: a cell cannot host a
+			// foreign replica of a task ID its own head arbitrates.
+			for _, other := range c.placements {
+				if other.spec.ID == t.ID {
+					c.Stop()
+					return nil, fmt.Errorf("evm: task %q declared in more than one cell", t.ID)
+				}
+			}
+			c.placements[name+"/"+t.ID] = &taskPlacement{
+				origin: i, cell: i, node: t.Candidates[0], spec: t,
+			}
+		}
+	}
+	c.backbone = newBackbone(c.eng, c.rng.Fork(), cfg.Backbone, names, c.bus())
+	// Track local fail-overs so checkpoints follow the task to its new
+	// master. Foreign tasks are never arbitrated by the hosting cell's
+	// head, so only native placements move here.
+	c.bus().Subscribe(func(ev Event) {
+		ce, ok := ev.(CellEvent)
+		if !ok {
+			return
+		}
+		fo, ok := ce.Inner.(FailoverEvent)
+		if !ok {
+			return
+		}
+		idx := c.byName[ce.Cell]
+		if p, ok := c.placements[ce.Cell+"/"+fo.Task]; ok && !p.foreign && p.cell == idx {
+			p.node = fo.To
+		}
+	})
+	c.ticker = c.eng.Every(cfg.CheckPeriod, c.tick)
+	return c, nil
+}
+
+// bus lazily creates the campus event bus (needed before the struct is
+// fully built, during per-cell subscription wiring).
+func (c *Campus) bus() *Bus {
+	if c.busImpl == nil {
+		c.busImpl = &Bus{}
+	}
+	return c.busImpl
+}
+
+// Events returns the merged campus event stream: every cell's events
+// wrapped in CellEvent plus the federation-level events.
+func (c *Campus) Events() *Bus { return c.bus() }
+
+// Backbone returns the inter-cell network.
+func (c *Campus) Backbone() *Backbone { return c.backbone }
+
+// Engine returns the shared virtual-time engine.
+func (c *Campus) Engine() *sim.Engine { return c.eng }
+
+// Cells returns the campus cells in declaration order.
+func (c *Campus) Cells() []*Cell { return append([]*Cell(nil), c.cells...) }
+
+// Cell returns the cell with the given name, or nil.
+func (c *Campus) Cell(name string) *Cell {
+	if i, ok := c.byName[name]; ok {
+		return c.cells[i]
+	}
+	return nil
+}
+
+// Now returns the current virtual time.
+func (c *Campus) Now() time.Duration { return c.eng.Now() }
+
+// Run advances the whole campus by d on the shared engine.
+func (c *Campus) Run(d time.Duration) {
+	_ = c.eng.RunUntil(c.eng.Now() + d)
+}
+
+// Stop halts the coordinator, every feed and every cell.
+func (c *Campus) Stop() {
+	if c.ticker != nil {
+		c.ticker.Stop()
+	}
+	for _, f := range c.feeds {
+		f.Stop()
+	}
+	for _, cell := range c.cells {
+		cell.Stop()
+	}
+}
+
+// ApplyFaultPlan applies a fault plan to the named cell ("" = the first
+// cell). The plan's events appear on the campus stream tagged with the
+// cell name.
+func (c *Campus) ApplyFaultPlan(cell string, p FaultPlan) error {
+	idx := 0
+	if cell != "" {
+		i, ok := c.byName[cell]
+		if !ok {
+			return fmt.Errorf("evm: unknown cell %q", cell)
+		}
+		idx = i
+	}
+	return c.cells[idx].ApplyFaultPlan(p)
+}
+
+// TaskPlacement reports where a control task currently runs.
+type TaskPlacement struct {
+	Cell    string
+	Node    NodeID
+	Foreign bool // true once the task migrated out of its origin cell
+}
+
+// TaskPlacements returns the coordinator's current placement of every
+// task, keyed "<origin-cell>/<task-id>".
+func (c *Campus) TaskPlacements() map[string]TaskPlacement {
+	out := make(map[string]TaskPlacement, len(c.placements))
+	for key, p := range c.placements {
+		out[key] = TaskPlacement{Cell: c.cellName(p.cell), Node: p.node, Foreign: p.foreign}
+	}
+	return out
+}
+
+func (c *Campus) cellName(i int) string { return c.cells[i].Name() }
+
+// sortedPlacementKeys returns placement keys in stable order; every
+// coordinator iteration uses it so runs reproduce byte-for-byte.
+func (c *Campus) sortedPlacementKeys() []string {
+	keys := make([]string, 0, len(c.placements))
+	for k := range c.placements {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// nodeFailed reports whether a node's radio is gone or crashed.
+func (c *Campus) nodeFailed(cell int, id NodeID) bool {
+	r := c.cells[cell].med.Radio(id)
+	return r == nil || r.Failed()
+}
+
+// tick is the coordinator heartbeat: checkpoint every task's state, then
+// escalate fail-over for stranded tasks — tasks whose current node is
+// dead while the hosting cell has no usable local candidate (or no live
+// head to arbitrate one).
+func (c *Campus) tick() {
+	type stranded struct {
+		key    string
+		p      *taskPlacement
+		reason string
+	}
+	var found []stranded
+	for _, key := range c.sortedPlacementKeys() {
+		p := c.placements[key]
+		if p.migrating {
+			continue
+		}
+		cell := c.cells[p.cell]
+		if !c.nodeFailed(p.cell, p.node) {
+			if n := cell.nodes[p.node]; n != nil && n.HasReplica(p.spec.ID) {
+				if ex, err := n.ExportTask(p.spec.ID); err == nil {
+					p.export, p.have = ex, true
+				}
+			}
+			continue
+		}
+		headDown := c.nodeFailed(p.cell, c.specs[p.cell].VC.Head)
+		if !p.foreign {
+			candidateAlive := false
+			for _, cand := range p.spec.Candidates {
+				if cand != p.node && !c.nodeFailed(p.cell, cand) {
+					candidateAlive = true
+					break
+				}
+			}
+			if candidateAlive && !headDown {
+				continue // in-cell fail-over will handle it
+			}
+		}
+		reason := "candidates-exhausted"
+		if headDown {
+			reason = "head-down"
+		}
+		found = append(found, stranded{key: key, p: p, reason: reason})
+	}
+	if len(found) == 0 {
+		return
+	}
+	// One overload event per affected cell, in cell order.
+	byCell := make(map[int][]string)
+	for _, s := range found {
+		byCell[s.p.cell] = append(byCell[s.p.cell], s.p.spec.ID)
+	}
+	cellIdxs := make([]int, 0, len(byCell))
+	for i := range byCell {
+		cellIdxs = append(cellIdxs, i)
+	}
+	sort.Ints(cellIdxs)
+	for _, i := range cellIdxs {
+		reason := "candidates-exhausted"
+		if c.nodeFailed(i, c.specs[i].VC.Head) {
+			reason = "head-down"
+		}
+		sort.Strings(byCell[i])
+		c.bus().publish(CellOverloadEvent{
+			At: c.eng.Now(), Cell: c.cellName(i), Reason: reason, Tasks: byCell[i],
+		})
+	}
+	for _, s := range found {
+		c.escalate(s.key, s.p)
+	}
+}
+
+// escalate ships one stranded task to a peer cell over the backbone.
+func (c *Campus) escalate(key string, p *taskPlacement) {
+	dst, ok := c.pickDestCell(p)
+	if !ok {
+		return // no peer can host it; retry next tick
+	}
+	ex := p.export
+	if !p.have {
+		// Never checkpointed (task died before producing state): ship an
+		// empty export — the peer re-instantiates from the spec catalog.
+		ex = wire.TaskExport{TaskID: p.spec.ID}
+	}
+	payload, err := ex.Encode()
+	if err != nil {
+		return
+	}
+	p.migrating = true
+	p.dest = dst
+	src := p.cell
+	c.backbone.Send(src, dst, payload,
+		func(b []byte) { c.deliver(key, p, dst, b) },
+		func() { p.migrating = false })
+}
+
+// pickDestCell selects the peer cell to host a stranded task: the live
+// cell (at least one node able to take the task) carrying the fewest
+// tasks — counting transfers already in flight toward it — lowest index
+// on ties. A deterministic least-loaded policy.
+func (c *Campus) pickDestCell(p *taskPlacement) (int, bool) {
+	load := make([]int, len(c.cells))
+	for _, q := range c.placements {
+		load[q.cell]++
+		if q.migrating {
+			load[q.dest]++
+		}
+	}
+	best, bestLoad, found := 0, 0, false
+	for i := range c.cells {
+		if i == p.cell {
+			continue
+		}
+		if len(c.destNodes(i, p.spec.ID)) == 0 {
+			continue
+		}
+		if !found || load[i] < bestLoad {
+			best, bestLoad, found = i, load[i], true
+		}
+	}
+	return best, found
+}
+
+// destNodes lists a cell's eligible hosts for a task — live runtimes not
+// already holding a replica of it — least-loaded (fewest replicas)
+// first, lowest ID on ties.
+func (c *Campus) destNodes(cell int, taskID string) []NodeID {
+	var out []NodeID
+	for _, id := range c.cells[cell].ids {
+		n := c.cells[cell].nodes[id]
+		if n == nil || c.nodeFailed(cell, id) {
+			continue
+		}
+		if n.HasReplica(taskID) {
+			continue
+		}
+		out = append(out, id)
+	}
+	cellNodes := c.cells[cell].nodes
+	sort.SliceStable(out, func(i, j int) bool {
+		return cellNodes[out[i]].ReplicaCount() < cellNodes[out[j]].ReplicaCount()
+	})
+	return out
+}
+
+// deliver lands a task export in the destination cell: pick a host,
+// attest + admit + restore via core.ImportTask, activate it, and publish
+// the InterCellMigrationEvent.
+func (c *Campus) deliver(key string, p *taskPlacement, dst int, payload []byte) {
+	p.migrating = false
+	ex, err := wire.DecodeTaskExport(payload)
+	if err != nil {
+		return
+	}
+	fromCell, fromNode := p.cell, p.node
+	for _, id := range c.destNodes(dst, ex.TaskID) {
+		if err := c.cells[dst].nodes[id].ImportTask(p.spec, ex, true); err != nil {
+			continue // e.g. schedulability admission failed; try the next host
+		}
+		p.cell, p.node, p.foreign = dst, id, true
+		c.bus().publish(InterCellMigrationEvent{
+			At:       c.eng.Now(),
+			Task:     ex.TaskID,
+			FromCell: c.cellName(fromCell),
+			ToCell:   c.cellName(dst),
+			From:     fromNode,
+			To:       id,
+		})
+		return
+	}
+	// No host could admit it; the next tick retries (possibly elsewhere).
+}
+
+// KillNodesPlan returns a fault plan that crashes every listed radio at
+// offset at. Unlike KillCellPlan it needs no live cell, so it also
+// serves RunSpec grids built before any campus exists.
+func KillNodesPlan(name string, at time.Duration, ids ...NodeID) FaultPlan {
+	steps := make([]FaultStep, 0, len(ids))
+	for _, id := range ids {
+		steps = append(steps, FaultStep{At: at, CrashNode: id})
+	}
+	return FaultPlan{Name: name, Steps: steps}
+}
+
+// KillCellPlan returns a fault plan that crashes every member radio of
+// the cell at offset at — the whole-cell outage that forces the
+// federation coordinator to escalate fail-over across the backbone.
+func KillCellPlan(at time.Duration, cell *Cell) FaultPlan {
+	name := "kill-cell"
+	if cell.Name() != "" {
+		name = "kill-" + cell.Name()
+	}
+	return KillNodesPlan(name, at, cell.Members()...)
+}
+
+// --- campus events ------------------------------------------------------------
+
+// CellEvent wraps one cell's event for the merged campus stream,
+// attributing it to the cell by name.
+type CellEvent struct {
+	Cell  string
+	Inner Event
+}
+
+// When implements Event.
+func (e CellEvent) When() time.Duration { return e.Inner.When() }
+
+// String implements Event.
+func (e CellEvent) String() string {
+	return fmt.Sprintf("cell=%s %s", e.Cell, e.Inner.String())
+}
+
+// CellOverloadEvent fires when the federation coordinator finds a cell
+// unable to keep its tasks alive locally: every candidate of at least
+// one task is dead, or the cell head is down with the task's master.
+type CellOverloadEvent struct {
+	At     time.Duration
+	Cell   string
+	Reason string // "candidates-exhausted" or "head-down"
+	Tasks  []string
+}
+
+// When implements Event.
+func (e CellOverloadEvent) When() time.Duration { return e.At }
+
+// String implements Event.
+func (e CellOverloadEvent) String() string {
+	return fmt.Sprintf("%v cell-overload cell=%s reason=%s tasks=%s",
+		e.At, e.Cell, e.Reason, strings.Join(e.Tasks, "+"))
+}
+
+// InterCellMigrationEvent fires when a task capsule shipped over the
+// backbone is re-deployed and activated in a peer cell.
+type InterCellMigrationEvent struct {
+	At       time.Duration
+	Task     string
+	FromCell string
+	ToCell   string
+	From     NodeID
+	To       NodeID
+}
+
+// When implements Event.
+func (e InterCellMigrationEvent) When() time.Duration { return e.At }
+
+// String implements Event.
+func (e InterCellMigrationEvent) String() string {
+	return fmt.Sprintf("%v intercell-migration task=%s from=%s/%d to=%s/%d",
+		e.At, e.Task, e.FromCell, e.From, e.ToCell, e.To)
+}

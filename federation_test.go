@@ -1,0 +1,295 @@
+package evm
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// killUnitA crashes every radio of the refinery's unit-a — the
+// whole-cell outage of the federation acceptance scenario.
+func killUnitA(at time.Duration) FaultPlan {
+	return KillNodesPlan("kill-unit-a", at, RefineryMembers()...)
+}
+
+// TestCampusFailoverResumesTaskInPeerCell drives the self-contained
+// two-cell scenario end to end: west dies wholesale, the coordinator
+// reports the overload, ships the task over the backbone, and the loop
+// resumes actuating inside east.
+func TestCampusFailoverResumesTaskInPeerCell(t *testing.T) {
+	exp, err := BuildScenario(RunSpec{Scenario: ScenarioCampusFailover, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Cleanup()
+	log := exp.Campus.Events().Log()
+	exp.Campus.Run(30 * time.Second)
+
+	var overload *CellOverloadEvent
+	var mig *InterCellMigrationEvent
+	resumed := 0
+	for _, ev := range log.Events() {
+		switch e := ev.(type) {
+		case CellOverloadEvent:
+			if overload == nil {
+				overload = &e
+			}
+		case InterCellMigrationEvent:
+			if mig == nil {
+				mig = &e
+			}
+		case CellEvent:
+			if act, ok := e.Inner.(ActuationEvent); ok &&
+				e.Cell == "east" && act.Task == "w-loop" {
+				resumed++
+			}
+		}
+	}
+	if overload == nil || overload.Cell != "west" {
+		t.Fatalf("no CellOverloadEvent for west (got %+v)", overload)
+	}
+	if mig == nil {
+		t.Fatal("no InterCellMigrationEvent after killing west")
+	}
+	if mig.Task != "w-loop" || mig.FromCell != "west" || mig.ToCell != "east" {
+		t.Fatalf("migration event = %+v, want w-loop west->east", mig)
+	}
+	if mig.At <= 10*time.Second {
+		t.Fatalf("migration at %v, before the 10s outage", mig.At)
+	}
+	if resumed == 0 {
+		t.Fatal("migrated task never actuated in the peer cell")
+	}
+	placements := exp.Campus.TaskPlacements()
+	p, ok := placements["west/w-loop"]
+	if !ok || !p.Foreign || p.Cell != "east" {
+		t.Fatalf("placement west/w-loop = %+v, want foreign in east", p)
+	}
+	// The backbone carried at least the one transfer.
+	if st := exp.Campus.Backbone().Stats(); st.Delivered < 1 {
+		t.Fatalf("backbone stats = %+v", st)
+	}
+}
+
+// TestRefineryCellKillAcceptance is the PR's acceptance scenario: the
+// 4x16 refinery runs under a fault plan that kills every runtime in one
+// cell; every control task of that cell resumes in a peer cell, and two
+// same-seed runs emit byte-identical campus event logs.
+func TestRefineryCellKillAcceptance(t *testing.T) {
+	run := func() ([]string, map[string]TaskPlacement, int) {
+		exp, err := BuildScenario(RunSpec{Scenario: ScenarioRefinery, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer exp.Cleanup()
+		if err := exp.Campus.ApplyFaultPlan("unit-a",
+			KillCellPlan(10*time.Second, exp.Campus.Cell("unit-a"))); err != nil {
+			t.Fatal(err)
+		}
+		log := exp.Campus.Events().Log()
+		exp.Campus.Run(25 * time.Second)
+		migs := 0
+		for _, ev := range log.Events() {
+			if _, ok := ev.(InterCellMigrationEvent); ok {
+				migs++
+			}
+		}
+		return log.Strings(), exp.Campus.TaskPlacements(), migs
+	}
+	a, placements, migs := run()
+	if migs != 4 {
+		t.Fatalf("inter-cell migrations = %d, want all 4 unit-a loops", migs)
+	}
+	for i := 0; i < 4; i++ {
+		key := "unit-a/a-loop-" + string(rune('0'+i))
+		p, ok := placements[key]
+		if !ok || !p.Foreign || p.Cell == "unit-a" {
+			t.Fatalf("placement %s = %+v, want foreign outside unit-a", key, p)
+		}
+	}
+	// Migrated tasks spread over the three surviving cells.
+	hosts := make(map[string]bool)
+	for key, p := range placements {
+		if p.Foreign {
+			hosts[p.Cell] = true
+		}
+		_ = key
+	}
+	if len(hosts) < 2 {
+		t.Fatalf("all migrated tasks landed in one cell: %v", hosts)
+	}
+
+	b, _, _ := run()
+	if len(a) != len(b) {
+		t.Fatalf("campus event streams differ in length: %d vs %d", len(a), len(b))
+	}
+	if len(a) == 0 {
+		t.Fatal("no campus events recorded")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("campus event %d differs:\n  run1: %s\n  run2: %s", i, a[i], b[i])
+		}
+	}
+}
+
+// TestFederationRunnerParallelMatchesSerial covers the federation half
+// of the Runner guarantee: a campus grid (refinery + campus-failover,
+// crossed with seeds and a whole-cell kill plan) produces identical
+// metrics AND byte-identical per-run event CSVs whether executed
+// serially or across workers.
+func TestFederationRunnerParallelMatchesSerial(t *testing.T) {
+	specs := []RunSpec{
+		{Scenario: ScenarioRefinery, Seed: 1, Horizon: 20 * time.Second,
+			Faults: killUnitA(10 * time.Second), FaultCell: "unit-a"},
+		{Scenario: ScenarioRefinery, Seed: 2, Horizon: 20 * time.Second,
+			Faults: killUnitA(10 * time.Second), FaultCell: "unit-a"},
+		{Scenario: ScenarioRefinery, Seed: 1, Horizon: 15 * time.Second},
+		{Scenario: ScenarioCampusFailover, Seed: 1, Horizon: 20 * time.Second},
+		{Scenario: ScenarioCampusFailover, Seed: 2, Horizon: 20 * time.Second},
+	}
+	dirSerial := t.TempDir()
+	dirParallel := t.TempDir()
+	serial := (&Runner{Workers: 1, EventDir: dirSerial}).Run(specs)
+	parallel := (&Runner{Workers: 4, EventDir: dirParallel}).Run(specs)
+	for i := range specs {
+		if serial[i].Err != nil || parallel[i].Err != nil {
+			t.Fatalf("%s: serial err=%v parallel err=%v",
+				specs[i].Label(), serial[i].Err, parallel[i].Err)
+		}
+		if !reflect.DeepEqual(serial[i].Metrics, parallel[i].Metrics) {
+			t.Fatalf("%s: metrics diverge:\n  serial:   %v\n  parallel: %v",
+				specs[i].Label(), serial[i].Metrics, parallel[i].Metrics)
+		}
+	}
+	// The killed-cell runs must have escalated across the backbone.
+	if serial[0].Metrics[MetricInterCellMigrations] != 4 {
+		t.Fatalf("refinery kill run migrated %.0f tasks, want 4",
+			serial[0].Metrics[MetricInterCellMigrations])
+	}
+	if serial[2].Metrics[MetricInterCellMigrations] != 0 {
+		t.Fatalf("fault-free refinery run migrated %.0f tasks, want 0",
+			serial[2].Metrics[MetricInterCellMigrations])
+	}
+	// Per-run event CSVs are byte-identical between serial and parallel.
+	files, err := filepath.Glob(filepath.Join(dirSerial, "*.csv"))
+	if err != nil || len(files) != len(specs) {
+		t.Fatalf("event CSVs written = %d (err %v), want %d", len(files), err, len(specs))
+	}
+	for _, f := range files {
+		sb, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, err := os.ReadFile(filepath.Join(dirParallel, filepath.Base(f)))
+		if err != nil {
+			t.Fatalf("parallel run missing CSV %s: %v", filepath.Base(f), err)
+		}
+		if string(sb) != string(pb) {
+			t.Fatalf("event CSV %s differs between serial and parallel", filepath.Base(f))
+		}
+		if len(sb) == 0 {
+			t.Fatalf("event CSV %s is empty", filepath.Base(f))
+		}
+	}
+}
+
+// TestBackboneLossRetransmits checks the backbone's loss model: under a
+// forced 50% transfer loss the coordinator still lands the migration via
+// deterministic retransmissions.
+func TestBackboneLossRetransmits(t *testing.T) {
+	unit := func(name, prefix string) CellSpec {
+		return CellSpec{
+			Name:    name,
+			Options: []CellOption{WithNodeCount(5), WithSlotsPerNode(3), WithPER(0)},
+			VC: VCConfig{
+				Name: name, Head: 2, Gateway: 1,
+				Tasks: []TaskSpec{{
+					ID: prefix + "-loop", SensorPort: 0, ActuatorPort: 10,
+					Period: 250 * time.Millisecond, WCET: 5 * time.Millisecond,
+					Candidates:   []NodeID{3, 4},
+					DeviationTol: 5, DeviationWindow: 4, SilenceWindow: 8,
+					MakeLogic: campusPID,
+				}},
+			},
+			Feed: &FeedSpec{Source: 1, Period: 250 * time.Millisecond,
+				Sample: func() []SensorReading { return []SensorReading{{Port: 0, Value: 50}} }},
+		}
+	}
+	dropsSeen := false
+	for seed := uint64(1); seed <= 8 && !dropsSeen; seed++ {
+		campus, err := NewCampus(CampusConfig{
+			Seed:     seed,
+			Backbone: BackboneConfig{PER: 0.5},
+		}, unit("n", "n"), unit("s", "s"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		log := campus.Events().Log()
+		if err := campus.ApplyFaultPlan("n", KillCellPlan(5*time.Second, campus.Cell("n"))); err != nil {
+			t.Fatal(err)
+		}
+		campus.Run(20 * time.Second)
+		migrated := false
+		for _, ev := range log.Events() {
+			switch e := ev.(type) {
+			case BackboneEvent:
+				if e.Kind == BackboneDrop {
+					dropsSeen = true
+				}
+			case InterCellMigrationEvent:
+				migrated = true
+			}
+		}
+		if !migrated {
+			t.Fatalf("seed %d: migration never completed under 50%% backbone loss", seed)
+		}
+		campus.Stop()
+	}
+	if !dropsSeen {
+		t.Fatal("no backbone drop observed across 8 seeds at 50% loss")
+	}
+}
+
+// TestCampusRejectsDuplicateTaskIDs: task IDs must be campus-unique or a
+// hosting cell's head would demote imported foreign replicas.
+func TestCampusRejectsDuplicateTaskIDs(t *testing.T) {
+	unit := func(name string) CellSpec {
+		return CellSpec{
+			Name:    name,
+			Options: []CellOption{WithNodeCount(4), WithPER(0)},
+			VC: VCConfig{
+				Name: name, Head: 2, Gateway: 1,
+				Tasks: []TaskSpec{{
+					ID: "loop", SensorPort: 0, ActuatorPort: 10,
+					Period: 250 * time.Millisecond, WCET: 5 * time.Millisecond,
+					Candidates:   []NodeID{3, 4},
+					DeviationTol: 5, DeviationWindow: 4, SilenceWindow: 8,
+					MakeLogic: campusPID,
+				}},
+			},
+		}
+	}
+	if _, err := NewCampus(CampusConfig{Seed: 1}, unit("a"), unit("b")); err == nil {
+		t.Fatal("duplicate task IDs across cells accepted")
+	}
+}
+
+// TestSyntheticFeedPublishesActuationEvents covers the per-node
+// actuation sink: a cell without a plant gateway still publishes
+// ActuationEvent for every accepted actuation.
+func TestSyntheticFeedPublishesActuationEvents(t *testing.T) {
+	exp, err := BuildScenario(RunSpec{Scenario: ScenarioEightController, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Cleanup()
+	log := exp.Cell.Events().Log()
+	exp.Cell.Run(10 * time.Second)
+	acts := log.Count(func(ev Event) bool { _, ok := ev.(ActuationEvent); return ok })
+	if acts == 0 {
+		t.Fatal("synthetic-feed scenario published no ActuationEvent")
+	}
+}

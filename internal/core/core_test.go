@@ -202,10 +202,10 @@ func TestComputeFaultTriggersFailover(t *testing.T) {
 	r := newRig(t, defaultCfg())
 	var failoverAt time.Duration
 	var from, to radio.NodeID
-	r.nodes[headID].Head().OnFailover = func(task string, f, tn radio.NodeID) {
+	r.nodes[headID].Head().SetFailoverSink(func(task string, f, tn radio.NodeID) {
 		failoverAt = r.eng.Now()
 		from, to = f, tn
-	}
+	})
 	r.run(t, 5*time.Second)
 	faultAt := r.eng.Now()
 	r.nodes[ctrlA].InjectComputeFault("lts", 75)
@@ -239,7 +239,7 @@ func TestComputeFaultTriggersFailover(t *testing.T) {
 func TestDemotedPrimaryGoesIndicatorThenDormant(t *testing.T) {
 	r := newRig(t, defaultCfg())
 	fired := false
-	r.nodes[headID].Head().OnFailover = func(string, radio.NodeID, radio.NodeID) { fired = true }
+	r.nodes[headID].Head().SetFailoverSink(func(string, radio.NodeID, radio.NodeID) { fired = true })
 	r.run(t, 3*time.Second)
 	r.nodes[ctrlA].InjectComputeFault("lts", 75)
 	for i := 0; i < 20 && !fired; i++ {
@@ -261,7 +261,7 @@ func TestDemotedPrimaryGoesIndicatorThenDormant(t *testing.T) {
 func TestSilentCrashTriggersFailover(t *testing.T) {
 	r := newRig(t, defaultCfg())
 	fired := false
-	r.nodes[headID].Head().OnFailover = func(string, radio.NodeID, radio.NodeID) { fired = true }
+	r.nodes[headID].Head().SetFailoverSink(func(string, radio.NodeID, radio.NodeID) { fired = true })
 	r.run(t, 5*time.Second)
 	r.nodes[ctrlA].Link().Radio().Fail()
 	r.run(t, 15*time.Second)
@@ -280,7 +280,7 @@ func TestStateMigrationToSpareNode(t *testing.T) {
 	r := newRig(t, defaultCfg())
 	r.run(t, 5*time.Second)
 	migrated := ""
-	r.nodes[spareID].OnMigrationIn = func(task string) { migrated = task }
+	r.nodes[spareID].SetMigrationSink(func(task string, _ radio.NodeID) { migrated = task })
 	if err := r.nodes[ctrlA].MigrateTask("lts", spareID); err != nil {
 		t.Fatal(err)
 	}
@@ -397,7 +397,7 @@ func TestModeChangeDisablesTask(t *testing.T) {
 func TestEnergyFaultProactiveMigration(t *testing.T) {
 	r := newRig(t, defaultCfg())
 	fired := false
-	r.nodes[headID].Head().OnFailover = func(string, radio.NodeID, radio.NodeID) { fired = true }
+	r.nodes[headID].Head().SetFailoverSink(func(string, radio.NodeID, radio.NodeID) { fired = true })
 	r.run(t, 2*time.Second)
 	// Drain the primary's battery below the 5% threshold.
 	b := r.nodes[ctrlA].Link().Radio().Battery()
@@ -503,7 +503,7 @@ func TestLossyChannelStillFailsOver(t *testing.T) {
 	r := newRig(t, defaultCfg())
 	r.med.ForcePER(0.2)
 	fired := false
-	r.nodes[headID].Head().OnFailover = func(string, radio.NodeID, radio.NodeID) { fired = true }
+	r.nodes[headID].Head().SetFailoverSink(func(string, radio.NodeID, radio.NodeID) { fired = true })
 	r.run(t, 5*time.Second)
 	r.nodes[ctrlA].InjectComputeFault("lts", 75)
 	r.run(t, 30*time.Second)

@@ -35,21 +35,13 @@ type Head struct {
 	dormantEvs []*sim.Event
 	stats      HeadStats
 
-	// failoverSink and joinSink are reserved for the public facade's
-	// event bus; user code cannot displace them through the deprecated
-	// callback fields below.
+	// failoverSink and joinSink are the facade's event-bus observers
+	// (FailoverEvent / JoinEvent on evm.Cell.Events).
 	failoverSink func(taskID string, from, to radio.NodeID)
 	joinSink     func(id radio.NodeID)
-
-	// OnFailover fires after the head switches a task's master.
-	//
-	// Deprecated: subscribe to the cell's event bus (evm.Cell.Events)
-	// for FailoverEvent instead. The field still fires, after the bus.
-	OnFailover func(taskID string, from, to radio.NodeID)
 }
 
-// SetFailoverSink registers the facade-level failover observer. It is
-// invoked before the deprecated OnFailover field.
+// SetFailoverSink registers the facade-level failover observer.
 func (h *Head) SetFailoverSink(fn func(taskID string, from, to radio.NodeID)) {
 	h.failoverSink = fn
 }
@@ -208,9 +200,6 @@ func (h *Head) promote(task string, next, old radio.NodeID) {
 	h.active[task] = next
 	if h.failoverSink != nil {
 		h.failoverSink(task, old, next)
-	}
-	if h.OnFailover != nil {
-		h.OnFailover(task, old, next)
 	}
 }
 

@@ -125,9 +125,93 @@ func (n *Node) onState(msg rtlink.Message) {
 	if n.migrationSink != nil {
 		n.migrationSink(sx.TaskID, msg.Src)
 	}
-	if n.OnMigrationIn != nil {
-		n.OnMigrationIn(sx.TaskID)
+}
+
+// HasReplica reports whether the node holds a replica of the task
+// (regardless of role).
+func (n *Node) HasReplica(taskID string) bool {
+	_, ok := n.replicas[taskID]
+	return ok
+}
+
+// ReplicaCount returns how many task replicas the node holds.
+func (n *Node) ReplicaCount() int { return len(n.replicas) }
+
+// ExportTask packages this node's replica of a task for out-of-band
+// transfer: the serialized state, the output sequence number and, for
+// byte-code tasks, the encoded code capsule. The federation layer ships
+// the export over the campus backbone when a cell can no longer host the
+// task locally.
+func (n *Node) ExportTask(taskID string) (wire.TaskExport, error) {
+	r, ok := n.replicas[taskID]
+	if !ok {
+		return wire.TaskExport{}, fmt.Errorf("core: node %v holds no task %s", n.id, taskID)
 	}
+	blob, err := r.logic.Snapshot()
+	if err != nil {
+		return wire.TaskExport{}, fmt.Errorf("snapshot %s: %w", taskID, err)
+	}
+	ex := wire.TaskExport{TaskID: taskID, Seq: r.outSeq, Blob: blob}
+	if vl, isVM := r.logic.(*VMLogic); isVM {
+		c := vl.Capsule()
+		enc, err := c.Encode()
+		if err != nil {
+			return wire.TaskExport{}, err
+		}
+		ex.Capsule = enc
+	}
+	return ex, nil
+}
+
+// ImportTask installs a replica of a foreign task delivered out-of-band
+// (cross-cell migration over the federation backbone). The capsule, when
+// present, is attested by vm.Decode; the task passes schedulability
+// admission like any migrated task; the state snapshot is restored; and
+// with activate the replica starts as the task's master immediately —
+// the importing cell's head does not arbitrate foreign tasks.
+func (n *Node) ImportTask(spec TaskSpec, ex wire.TaskExport, activate bool) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	if spec.ID != ex.TaskID {
+		return fmt.Errorf("core: export names task %q, spec %q", ex.TaskID, spec.ID)
+	}
+	if _, exists := n.replicas[spec.ID]; exists {
+		return fmt.Errorf("core: node %v already holds task %s", n.id, spec.ID)
+	}
+	var logic TaskLogic
+	if len(ex.Capsule) > 0 {
+		c, err := vm.Decode(ex.Capsule) // attestation
+		if err != nil {
+			return fmt.Errorf("core: capsule attestation: %w", err)
+		}
+		logic, err = NewVMLogic(c, 0)
+		if err != nil {
+			return err
+		}
+	} else {
+		var err error
+		logic, err = spec.MakeLogic()
+		if err != nil {
+			return err
+		}
+	}
+	if !n.ensureAdmitted(spec) {
+		return fmt.Errorf("core: node %v cannot schedule imported task %s", n.id, spec.ID)
+	}
+	r := n.installReplica(spec, logic)
+	if len(ex.Blob) > 0 {
+		if err := r.logic.Restore(ex.Blob); err != nil {
+			return fmt.Errorf("restore %s: %w", spec.ID, err)
+		}
+	}
+	r.outSeq = ex.Seq
+	if activate {
+		r.role = wire.RoleActive
+		r.activeNode = n.id
+	}
+	n.stats.MigrationsIn++
+	return nil
 }
 
 // ensureAdmitted runs schedulability admission for a task not yet in the

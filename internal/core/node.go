@@ -76,21 +76,15 @@ type Node struct {
 	modeTasks   map[uint8]map[string]bool // mode -> enabled task IDs
 	pendingMode *wire.ModeChange
 
-	// migrationSink is reserved for the public facade's event bus.
+	// migrationSink is the facade's event-bus observer for completed
+	// migrations (MigrationEvent on evm.Cell.Events).
 	migrationSink func(taskID string, from radio.NodeID)
 
-	// OnMigrationIn fires when a migrated task becomes ready (used by
-	// the migration-cost experiment).
-	//
-	// Deprecated: subscribe to the cell's event bus (evm.Cell.Events)
-	// for MigrationEvent instead. The field still fires, after the bus.
-	OnMigrationIn func(taskID string)
 	// lastSensorAt is when the node last heard the gateway.
 	lastSensorAt time.Duration
 }
 
-// SetMigrationSink registers the facade-level migration observer. It is
-// invoked before the deprecated OnMigrationIn field.
+// SetMigrationSink registers the facade-level migration observer.
 func (n *Node) SetMigrationSink(fn func(taskID string, from radio.NodeID)) {
 	n.migrationSink = fn
 }

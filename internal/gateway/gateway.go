@@ -166,18 +166,12 @@ type Gateway struct {
 	active map[string]radio.NodeID
 
 	lastPollAt time.Duration
-	// actuateSink is reserved for the public facade's event bus.
+	// actuateSink is the facade's event-bus observer for accepted
+	// actuations (ActuationEvent on evm.Cell.Events).
 	actuateSink func(src radio.NodeID, taskID string, port uint8, value float64)
-	// OnActuate, when set, observes every accepted actuation (used by
-	// latency experiments).
-	//
-	// Deprecated: subscribe to the cell's event bus (evm.Cell.Events)
-	// for ActuationEvent instead. The field still fires, after the bus.
-	OnActuate func(src radio.NodeID, taskID string, port uint8, value float64)
 }
 
-// SetActuateSink registers the facade-level actuation observer. It is
-// invoked before the deprecated OnActuate field.
+// SetActuateSink registers the facade-level actuation observer.
 func (g *Gateway) SetActuateSink(fn func(src radio.NodeID, taskID string, port uint8, value float64)) {
 	g.actuateSink = fn
 }
@@ -301,9 +295,6 @@ func (g *Gateway) onActuate(msg rtlink.Message) {
 		g.stats.ActuationsOK++
 		if g.actuateSink != nil {
 			g.actuateSink(msg.Src, act.TaskID, act.Port, act.Value)
-		}
-		if g.OnActuate != nil {
-			g.OnActuate(msg.Src, act.TaskID, act.Port, act.Value)
 		}
 		return
 	}

@@ -181,10 +181,10 @@ func TestPlantServerRegisters(t *testing.T) {
 	}
 }
 
-func TestOnActuateHookAndLastPoll(t *testing.T) {
+func TestActuateSinkAndLastPoll(t *testing.T) {
 	r := newRig(t)
 	var hookSrc radio.NodeID
-	r.gw.OnActuate = func(src radio.NodeID, task string, port uint8, value float64) { hookSrc = src }
+	r.gw.SetActuateSink(func(src radio.NodeID, task string, port uint8, value float64) { hookSrc = src })
 	_ = r.eng.RunUntil(time.Second)
 	if r.gw.LastPollAt() == 0 {
 		t.Fatal("LastPollAt never set")

@@ -56,6 +56,17 @@ func (b *Battery) Drain(currentMA float64, dur time.Duration) {
 	b.consumedMAS += currentMA * dur.Seconds()
 }
 
+// ConsumeFraction instantly consumes the given fraction of the total
+// capacity (fault injection: sudden energy loss from a shorted cell or a
+// stuck transmitter). Negative fractions are ignored; draining past
+// empty leaves the battery depleted.
+func (b *Battery) ConsumeFraction(f float64) {
+	if f <= 0 {
+		return
+	}
+	b.consumedMAS += f * b.CapacityMAH * 3600
+}
+
 // ConsumedMAH returns the total charge consumed so far.
 func (b *Battery) ConsumedMAH() float64 { return b.consumedMAS / 3600 }
 

@@ -154,6 +154,20 @@ func (r *reader) f64() (float64, error) {
 	return math.Float64frombits(v), err
 }
 
+// blob reads a u32-length-prefixed byte slice (copied out of the frame).
+func (r *reader) blob() ([]byte, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if r.off+int(n) > len(r.buf) {
+		return nil, ErrTruncated
+	}
+	b := append([]byte(nil), r.buf[r.off:r.off+int(n)]...)
+	r.off += int(n)
+	return b, nil
+}
+
 func (r *reader) str() (string, error) {
 	n, err := r.u8()
 	if err != nil {
@@ -685,4 +699,55 @@ func DecodeModeChange(b []byte) (ModeChange, error) {
 		return mc, err
 	}
 	return mc, nil
+}
+
+// --- federation: cross-cell task transfer -------------------------------------
+
+// TaskExport is the cross-cell capsule: everything a peer cell needs to
+// resume a control task after its home cell exhausted local migration
+// candidates — the latest state snapshot, the output sequence number and,
+// for byte-code tasks, the attested code capsule. TaskExports travel on
+// the federation backbone (gateway-to-gateway), not in RT-Link slots.
+type TaskExport struct {
+	TaskID string
+	Seq    uint32
+	// Blob is the serialized task state (TaskLogic.Snapshot).
+	Blob []byte
+	// Capsule is the encoded vm.Capsule for byte-code tasks; empty for
+	// tasks re-instantiated from the campus spec catalog.
+	Capsule []byte
+}
+
+// Encode packs the export.
+func (e TaskExport) Encode() ([]byte, error) {
+	var w writer
+	w.u32(e.Seq)
+	if err := w.str(e.TaskID); err != nil {
+		return nil, err
+	}
+	w.u32(uint32(len(e.Blob)))
+	w.buf = append(w.buf, e.Blob...)
+	w.u32(uint32(len(e.Capsule)))
+	w.buf = append(w.buf, e.Capsule...)
+	return w.buf, nil
+}
+
+// DecodeTaskExport unpacks an export.
+func DecodeTaskExport(b []byte) (TaskExport, error) {
+	r := reader{buf: b}
+	var e TaskExport
+	var err error
+	if e.Seq, err = r.u32(); err != nil {
+		return e, err
+	}
+	if e.TaskID, err = r.str(); err != nil {
+		return e, err
+	}
+	if e.Blob, err = r.blob(); err != nil {
+		return e, err
+	}
+	if e.Capsule, err = r.blob(); err != nil {
+		return e, err
+	}
+	return e, nil
 }

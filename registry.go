@@ -18,10 +18,16 @@ type RunSpec struct {
 	Horizon time.Duration
 	// Faults is applied to the scenario's cell before the run starts.
 	Faults FaultPlan
+	// FaultCell names the cell the plan targets in campus scenarios
+	// ("" = the first cell). Ignored by single-cell scenarios.
+	FaultCell string
 }
 
 // Label renders the spec as a stable one-line identifier.
 func (s RunSpec) Label() string {
+	if s.FaultCell != "" {
+		return fmt.Sprintf("%s/seed=%d/plan=%s@%s", s.Scenario, s.Seed, s.Faults.Label(), s.FaultCell)
+	}
 	return fmt.Sprintf("%s/seed=%d/plan=%s", s.Scenario, s.Seed, s.Faults.Label())
 }
 
@@ -29,8 +35,13 @@ func (s RunSpec) Label() string {
 // ScenarioBuilder. The Runner applies the spec's fault plan, advances the
 // cell to the horizon, collects Metrics and calls Cleanup.
 type Experiment struct {
-	// Cell is the instrumented cell the run advances.
+	// Cell is the instrumented cell the run advances. Leave nil for
+	// campus scenarios, which set Campus instead.
 	Cell *Cell
+	// Campus is the instrumented campus for federation scenarios; the
+	// Runner drives its shared engine and observes the merged campus
+	// event stream.
+	Campus *Campus
 	// DefaultHorizon is used when the spec leaves Horizon zero.
 	DefaultHorizon time.Duration
 	// Metrics extracts the per-run measurements after the horizon.
@@ -97,8 +108,8 @@ func BuildScenario(spec RunSpec) (*Experiment, error) {
 	if err != nil {
 		return nil, err
 	}
-	if exp == nil || exp.Cell == nil {
-		return nil, fmt.Errorf("evm: scenario %q built no cell", spec.Scenario)
+	if exp == nil || (exp.Cell == nil && exp.Campus == nil) {
+		return nil, fmt.Errorf("evm: scenario %q built no cell or campus", spec.Scenario)
 	}
 	return exp, nil
 }

@@ -2,7 +2,10 @@ package evm
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 )
@@ -27,6 +30,10 @@ const (
 	// MetricFirstFailoverS is the virtual time of the first failover in
 	// seconds (absent when no failover occurred).
 	MetricFirstFailoverS = "first_failover_s"
+	// Campus-level metrics (zero on single-cell scenarios).
+	MetricInterCellMigrations = "intercell_migrations"
+	MetricCellOverloads       = "cell_overloads"
+	MetricBackboneDelivered   = "backbone_delivered"
 )
 
 // Runner executes a grid of RunSpecs across worker goroutines. Every
@@ -37,6 +44,12 @@ const (
 type Runner struct {
 	// Workers is the concurrency (default: GOMAXPROCS).
 	Workers int
+	// EventDir, when non-empty, captures every run's event log and
+	// writes it as a CSV of cumulative per-type counters (one
+	// trace.Recorder series per event type, sampled at each event) to
+	// <EventDir>/<spec label>.csv — paper-style plots straight from a
+	// grid sweep.
+	EventDir string
 }
 
 // Run executes every spec and returns results in spec order. Individual
@@ -60,7 +73,7 @@ func (r *Runner) Run(specs []RunSpec) []RunResult {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = runOne(specs[i])
+				results[i] = r.runOne(specs[i])
 			}
 		}()
 	}
@@ -73,8 +86,9 @@ func (r *Runner) Run(specs []RunSpec) []RunResult {
 }
 
 // runOne executes a single grid point: build, instrument, fault, run,
-// measure, clean up.
-func runOne(spec RunSpec) RunResult {
+// measure, clean up. Campus experiments are driven through the campus
+// facade (merged event stream, cell-targeted fault plan, shared engine).
+func (r *Runner) runOne(spec RunSpec) RunResult {
 	res := RunResult{Spec: spec}
 	exp, err := BuildScenario(spec)
 	if err != nil {
@@ -84,15 +98,27 @@ func runOne(spec RunSpec) RunResult {
 	if exp.Cleanup != nil {
 		defer exp.Cleanup()
 	}
+	var bus *Bus
+	if exp.Campus != nil {
+		bus = exp.Campus.Events()
+	} else {
+		bus = exp.Cell.Events()
+	}
 	counts := map[string]float64{
-		MetricFailovers:      0,
-		MetricActuations:     0,
-		MetricMigrations:     0,
-		MetricJoins:          0,
-		MetricFaultsInjected: 0,
+		MetricFailovers:           0,
+		MetricActuations:          0,
+		MetricMigrations:          0,
+		MetricJoins:               0,
+		MetricFaultsInjected:      0,
+		MetricInterCellMigrations: 0,
+		MetricCellOverloads:       0,
+		MetricBackboneDelivered:   0,
 	}
 	firstFailover := time.Duration(-1)
-	sub := exp.Cell.Events().Subscribe(func(ev Event) {
+	sub := bus.Subscribe(func(ev Event) {
+		if ce, ok := ev.(CellEvent); ok {
+			ev = ce.Inner // count campus streams by their inner type
+		}
 		switch ev.(type) {
 		case FailoverEvent:
 			counts[MetricFailovers]++
@@ -105,18 +131,36 @@ func runOne(spec RunSpec) RunResult {
 			counts[MetricMigrations]++
 		case JoinEvent:
 			counts[MetricJoins]++
+		case InterCellMigrationEvent:
+			counts[MetricInterCellMigrations]++
+		case CellOverloadEvent:
+			counts[MetricCellOverloads]++
+		case BackboneEvent:
+			if ev.(BackboneEvent).Kind == BackboneDeliver {
+				counts[MetricBackboneDelivered]++
+			}
 		case FaultEvent:
 			// Count injections only — clears and restores are the tail
 			// end of a fault already counted.
 			switch ev.(FaultEvent).Kind {
-			case FaultCrash, FaultCompute, FaultPERBurst:
+			case FaultCrash, FaultCompute, FaultPERBurst, FaultBatteryDrain, FaultClockDrift:
 				counts[MetricFaultsInjected]++
 			}
 		}
 	})
 	defer sub.Cancel()
+	var log *EventLog
+	if r.EventDir != "" {
+		log = bus.Log()
+		defer log.Close()
+	}
 	if len(spec.Faults.Steps) > 0 {
-		if err := exp.Cell.ApplyFaultPlan(spec.Faults); err != nil {
+		if exp.Campus != nil {
+			err = exp.Campus.ApplyFaultPlan(spec.FaultCell, spec.Faults)
+		} else {
+			err = exp.Cell.ApplyFaultPlan(spec.Faults)
+		}
+		if err != nil {
 			res.Err = err
 			return res
 		}
@@ -128,7 +172,11 @@ func runOne(spec RunSpec) RunResult {
 	if horizon <= 0 {
 		horizon = time.Minute
 	}
-	exp.Cell.Run(horizon)
+	if exp.Campus != nil {
+		exp.Campus.Run(horizon)
+	} else {
+		exp.Cell.Run(horizon)
+	}
 	res.Metrics = counts
 	if firstFailover >= 0 {
 		res.Metrics[MetricFirstFailoverS] = firstFailover.Seconds()
@@ -138,7 +186,28 @@ func runOne(spec RunSpec) RunResult {
 			res.Metrics[k] = v
 		}
 	}
+	if log != nil {
+		if err := writeEventCSV(r.EventDir, spec, log); err != nil && res.Err == nil {
+			res.Err = err
+		}
+	}
 	return res
+}
+
+// writeEventCSV renders one run's event log through a trace.Recorder and
+// writes it as <dir>/<sanitized spec label>.csv.
+func writeEventCSV(dir string, spec RunSpec, log *EventLog) error {
+	name := strings.NewReplacer("/", "_", " ", "_", "@", "_").Replace(spec.Label()) + ".csv"
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	werr := log.Recorder().WriteCSV(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
 }
 
 // SpecGrid crosses scenarios x seeds x fault plans into a flat spec list

@@ -1,0 +1,189 @@
+package evm
+
+import (
+	"fmt"
+	"time"
+)
+
+// Federation scenario names registered with the global registry.
+const (
+	// ScenarioRefinery is a 4-cell x 16-node campus: four process units,
+	// each a full TDMA cell with its own gateway, head, four control
+	// loops and six spare nodes, bridged by the backbone. The workload
+	// class is an order of magnitude above the single-cell scenarios.
+	ScenarioRefinery = "refinery"
+	// ScenarioCampusFailover is the self-contained federation demo: a
+	// two-cell campus where one cell dies wholesale at t=10s and the
+	// coordinator resumes its control loop in the peer cell.
+	ScenarioCampusFailover = "campus-failover"
+)
+
+// RefineryCellNodes is the member count of every refinery unit; node IDs
+// run 1..RefineryCellNodes (gateway 1, head 2, loop pairs 3..10, spares
+// 11..16). Fault plans that target a whole unit crash this ID range.
+const RefineryCellNodes = 16
+
+// RefineryMembers returns the node IDs of one refinery unit, for
+// building whole-cell fault plans without a live campus.
+func RefineryMembers() []NodeID {
+	ids := make([]NodeID, RefineryCellNodes)
+	for i := range ids {
+		ids[i] = NodeID(i + 1)
+	}
+	return ids
+}
+
+func init() {
+	MustRegisterScenario(ScenarioRefinery, buildRefineryScenario)
+	MustRegisterScenario(ScenarioCampusFailover, buildCampusFailoverScenario)
+}
+
+// campusPID is the shared synthetic control law for federation cells.
+func campusPID() (TaskLogic, error) {
+	return NewPIDLogic(PIDParams{Kp: 2, Ki: 0.3, OutMin: 0, OutMax: 100,
+		Setpoint: 50, CutoffHz: 0.4, RateHz: 4})
+}
+
+// refineryUnit declares one process-unit cell of the refinery campus:
+// 16 nodes on a 4x4 grid — gateway 1, head 2, four primary/backup loop
+// pairs on nodes 3..10, spares 11..16 — plus a synthetic four-port feed.
+// Task IDs carry the unit letter so they stay campus-unique.
+func refineryUnit(letter string) CellSpec {
+	tasks := make([]TaskSpec, 0, 4)
+	for i := 0; i < 4; i++ {
+		tasks = append(tasks, TaskSpec{
+			ID:              fmt.Sprintf("%s-loop-%d", letter, i),
+			SensorPort:      uint8(i),
+			ActuatorPort:    uint8(10 + i),
+			Period:          250 * time.Millisecond,
+			WCET:            5 * time.Millisecond,
+			Candidates:      []NodeID{NodeID(3 + 2*i), NodeID(4 + 2*i)},
+			DeviationTol:    5,
+			DeviationWindow: 4,
+			SilenceWindow:   8,
+			MakeLogic:       campusPID,
+		})
+	}
+	name := "unit-" + letter
+	return CellSpec{
+		Name: name,
+		Options: []CellOption{
+			WithNodeCount(RefineryCellNodes),
+			WithPlacement(Grid(4, 4)),
+			// Three TX slots: after a fail-over one controller may hold
+			// two active loops (two actuations + one health bundle).
+			WithSlotsPerNode(3),
+			WithPER(0),
+		},
+		VC: VCConfig{Name: name, Head: 2, Gateway: 1, Tasks: tasks, DormantAfter: 5 * time.Second},
+		Feed: &FeedSpec{
+			Source: 1,
+			Period: 250 * time.Millisecond,
+			Sample: func() []SensorReading {
+				return []SensorReading{
+					{Port: 0, Value: 50}, {Port: 1, Value: 49},
+					{Port: 2, Value: 51}, {Port: 3, Value: 50},
+				}
+			},
+		},
+	}
+}
+
+// campusMetrics summarizes coordinator placements: how many tasks exist,
+// how many run outside their origin cell, and how many sit on live nodes.
+func campusMetrics(campus *Campus) func() map[string]float64 {
+	return func() map[string]float64 {
+		placements := campus.TaskPlacements()
+		foreign, alive := 0, 0
+		for _, p := range placements {
+			if p.Foreign {
+				foreign++
+			}
+			cell := campus.Cell(p.Cell)
+			if r := cell.Medium().Radio(p.Node); r != nil && !r.Failed() {
+				alive++
+			}
+		}
+		return map[string]float64{
+			"tasks_total":   float64(len(placements)),
+			"tasks_foreign": float64(foreign),
+			"tasks_alive":   float64(alive),
+		}
+	}
+}
+
+// buildRefineryScenario assembles the 4x16 refinery campus. Fault plans
+// from the RunSpec target the cell named by FaultCell (default unit-a).
+func buildRefineryScenario(spec RunSpec) (*Experiment, error) {
+	units := []string{"a", "b", "c", "d"}
+	cells := make([]CellSpec, 0, len(units))
+	for _, u := range units {
+		cells = append(cells, refineryUnit(u))
+	}
+	campus, err := NewCampus(CampusConfig{Seed: spec.Seed}, cells...)
+	if err != nil {
+		return nil, err
+	}
+	return &Experiment{
+		Campus:         campus,
+		DefaultHorizon: 30 * time.Second,
+		Metrics:        campusMetrics(campus),
+		Cleanup:        campus.Stop,
+	}, nil
+}
+
+// buildCampusFailoverScenario is the two-cell outage demo: cell west
+// runs one loop, cell east runs another with spare capacity; at t=10s
+// every radio in west crashes and the coordinator ships west's loop over
+// the backbone into east, where it resumes actuating.
+func buildCampusFailoverScenario(spec RunSpec) (*Experiment, error) {
+	unit := func(name, taskPrefix string) CellSpec {
+		return CellSpec{
+			Name: name,
+			Options: []CellOption{
+				WithNodeCount(6),
+				WithPlacement(Grid(3, 2)),
+				WithSlotsPerNode(3),
+				WithPER(0),
+			},
+			VC: VCConfig{
+				Name: name, Head: 2, Gateway: 1,
+				Tasks: []TaskSpec{{
+					ID:              taskPrefix + "-loop",
+					SensorPort:      0,
+					ActuatorPort:    10,
+					Period:          250 * time.Millisecond,
+					WCET:            5 * time.Millisecond,
+					Candidates:      []NodeID{3, 4},
+					DeviationTol:    5,
+					DeviationWindow: 4,
+					SilenceWindow:   8,
+					MakeLogic:       campusPID,
+				}},
+				DormantAfter: 5 * time.Second,
+			},
+			Feed: &FeedSpec{
+				Source: 1,
+				Period: 250 * time.Millisecond,
+				Sample: func() []SensorReading {
+					return []SensorReading{{Port: 0, Value: 50}}
+				},
+			},
+		}
+	}
+	campus, err := NewCampus(CampusConfig{Seed: spec.Seed},
+		unit("west", "w"), unit("east", "e"))
+	if err != nil {
+		return nil, err
+	}
+	if err := campus.ApplyFaultPlan("west", KillCellPlan(10*time.Second, campus.Cell("west"))); err != nil {
+		campus.Stop()
+		return nil, err
+	}
+	return &Experiment{
+		Campus:         campus,
+		DefaultHorizon: 30 * time.Second,
+		Metrics:        campusMetrics(campus),
+		Cleanup:        campus.Stop,
+	}, nil
+}
