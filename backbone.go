@@ -2,6 +2,8 @@ package evm
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"time"
 
 	"evm/internal/sim"
@@ -9,18 +11,26 @@ import (
 
 // BackboneConfig parameterizes the campus backbone: the wired (or
 // long-range) network bridging cell gateways. Unlike RT-Link slots the
-// backbone is connection-less and always on; transfers pay a fixed
-// one-way latency plus serialization time, and each transfer is lost
-// independently with probability PER (lost transfers retransmit after
-// RetryAfter, up to MaxRetries attempts).
+// backbone is connection-less and always on; transfers pay a per-link
+// one-way latency plus serialization time at every hop, and each hop
+// loses the transfer independently with the link's PER (lost transfers
+// retransmit end-to-end from the source after RetryAfter, up to
+// MaxRetries attempts).
+//
+// The zero value describes an implicit full mesh: every cell pair is
+// one hop apart with the Latency/BandwidthBPS/PER below. The first
+// Backbone.AddLink call switches the backbone to an explicit per-link
+// topology where only added links exist and transfers follow
+// shortest-path multi-hop routes.
 type BackboneConfig struct {
-	// Latency is the one-way gateway-to-gateway propagation delay.
+	// Latency is the one-way gateway-to-gateway propagation delay of a
+	// default (mesh) link.
 	Latency time.Duration
 	// BandwidthBPS is the serialization rate (default: 10 Mbit/s).
 	BandwidthBPS float64
-	// PER is the per-transfer loss probability in [0, 1).
+	// PER is the per-hop loss probability in [0, 1).
 	PER float64
-	// RetryAfter is the retransmit delay after a lost transfer.
+	// RetryAfter is the end-to-end retransmit delay after a lost hop.
 	RetryAfter time.Duration
 	// MaxRetries bounds retransmissions per transfer.
 	MaxRetries int
@@ -62,18 +72,43 @@ func (c BackboneConfig) validate() error {
 	return nil
 }
 
+// LinkConfig describes one explicit backbone link. Zero fields inherit
+// the backbone's defaults (PER inherits 0, not the mesh default: an
+// explicit link is lossless unless said otherwise).
+type LinkConfig struct {
+	// Latency is the link's one-way propagation delay.
+	Latency time.Duration
+	// BandwidthBPS is the link's serialization rate.
+	BandwidthBPS float64
+	// PER is the per-hop loss probability in [0, 1).
+	PER float64
+}
+
+// BackboneLink declares one explicit link between two named cells — the
+// declarative form of Backbone.AddLink for CampusConfig.Links.
+type BackboneLink struct {
+	A, B   string
+	Config LinkConfig
+}
+
 // BackboneStats counts backbone activity.
 type BackboneStats struct {
 	Sent      int
 	Delivered int
 	Dropped   int
 	Failed    int
+	// Forwarded counts hop traversals beyond the first — multi-hop
+	// forwarding volume at intermediate cells.
+	Forwarded int
 }
 
-// Backbone is the inter-cell network of a Campus: a full mesh of
-// latency/loss-modeled links between cell gateways, running on the
-// shared simulation engine with its own PRNG fork so loss draws never
-// perturb any cell's radio stream.
+// Backbone is the inter-cell network of a Campus. It starts as an
+// implicit full mesh of identical links between every cell gateway; an
+// explicit topology built with AddLink replaces the mesh, and transfers
+// then follow deterministic shortest-path routes (fewest hops,
+// lowest-index next cell on ties) with per-hop delay and loss. It runs
+// on the shared simulation engine with its own PRNG fork so loss draws
+// never perturb any cell's radio stream.
 type Backbone struct {
 	eng   *sim.Engine
 	rng   *sim.RNG
@@ -81,6 +116,12 @@ type Backbone struct {
 	names []string
 	bus   *Bus
 	stats BackboneStats
+
+	// explicit per-link topology; nil until the first AddLink.
+	links map[int]map[int]LinkConfig
+	// next[from][to] is the cached next-hop matrix (-1 = unreachable);
+	// nil when stale.
+	next [][]int
 }
 
 func newBackbone(eng *sim.Engine, rng *sim.RNG, cfg BackboneConfig, names []string, bus *Bus) *Backbone {
@@ -93,30 +134,226 @@ func (b *Backbone) Config() BackboneConfig { return b.cfg }
 // Stats returns a copy of the backbone counters.
 func (b *Backbone) Stats() BackboneStats { return b.stats }
 
-// transferTime returns latency plus serialization for a payload.
-func (b *Backbone) transferTime(bytes int) time.Duration {
-	ser := time.Duration(float64(bytes*8) / b.cfg.BandwidthBPS * float64(time.Second))
-	return b.cfg.Latency + ser
+// Mesh reports whether the backbone still uses the implicit full mesh
+// (no explicit link added yet).
+func (b *Backbone) Mesh() bool { return b.links == nil }
+
+// cellIndex resolves a cell name.
+func (b *Backbone) cellIndex(name string) (int, bool) {
+	for i, n := range b.names {
+		if n == name {
+			return i, true
+		}
+	}
+	return 0, false
 }
 
-// Send ships payload from one cell's gateway to another's. onDeliver
-// runs when the transfer arrives; onFail runs if every retransmission is
-// lost (both may be nil). Every attempt publishes a BackboneEvent on the
-// campus bus.
+// AddLink adds (or replaces) a bidirectional link between two named
+// cells. The first call switches the backbone from the implicit full
+// mesh to the explicit topology: from then on only added links exist
+// and transfers route across them hop by hop. Zero LinkConfig fields
+// inherit the backbone defaults; call before the campus runs.
+func (b *Backbone) AddLink(a, c string, cfg LinkConfig) error {
+	ai, ok := b.cellIndex(a)
+	if !ok {
+		return fmt.Errorf("evm: backbone link names unknown cell %q", a)
+	}
+	ci, ok := b.cellIndex(c)
+	if !ok {
+		return fmt.Errorf("evm: backbone link names unknown cell %q", c)
+	}
+	if ai == ci {
+		return fmt.Errorf("evm: backbone link from cell %q to itself", a)
+	}
+	if cfg.PER < 0 || cfg.PER >= 1 {
+		return fmt.Errorf("evm: backbone link %s-%s PER %g outside [0,1)", a, c, cfg.PER)
+	}
+	if cfg.Latency <= 0 {
+		cfg.Latency = b.cfg.Latency
+	}
+	if cfg.BandwidthBPS <= 0 {
+		cfg.BandwidthBPS = b.cfg.BandwidthBPS
+	}
+	if b.links == nil {
+		b.links = make(map[int]map[int]LinkConfig)
+	}
+	for _, pair := range [][2]int{{ai, ci}, {ci, ai}} {
+		m := b.links[pair[0]]
+		if m == nil {
+			m = make(map[int]LinkConfig)
+			b.links[pair[0]] = m
+		}
+		m[pair[1]] = cfg
+	}
+	b.next = nil // invalidate routes
+	return nil
+}
+
+// meshLink is the implicit full-mesh link configuration.
+func (b *Backbone) meshLink() LinkConfig {
+	return LinkConfig{Latency: b.cfg.Latency, BandwidthBPS: b.cfg.BandwidthBPS, PER: b.cfg.PER}
+}
+
+// linkConfig returns the link between two adjacent cells.
+func (b *Backbone) linkConfig(from, to int) LinkConfig {
+	if b.links == nil {
+		return b.meshLink()
+	}
+	return b.links[from][to]
+}
+
+// neighbors returns a cell's explicit neighbors in ascending order.
+func (b *Backbone) neighbors(of int) []int {
+	out := make([]int, 0, len(b.links[of]))
+	for n := range b.links[of] {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// computeRoutes fills the next-hop matrix with BFS shortest paths
+// (fewest hops; the deterministic tie-break is BFS order over
+// ascending neighbor indices).
+func (b *Backbone) computeRoutes() {
+	n := len(b.names)
+	b.next = make([][]int, n)
+	for src := 0; src < n; src++ {
+		b.next[src] = make([]int, n)
+		prev := make([]int, n)
+		for i := range prev {
+			prev[i] = -1
+		}
+		prev[src] = src
+		queue := []int{src}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, nb := range b.neighbors(cur) {
+				if prev[nb] < 0 {
+					prev[nb] = cur
+					queue = append(queue, nb)
+				}
+			}
+		}
+		for dst := 0; dst < n; dst++ {
+			if dst == src || prev[dst] < 0 {
+				b.next[src][dst] = -1
+				continue
+			}
+			// Walk back from dst to the first hop out of src.
+			hop := dst
+			for prev[hop] != src {
+				hop = prev[hop]
+			}
+			b.next[src][dst] = hop
+		}
+	}
+}
+
+// Route returns the cell-index path of a transfer from one cell to
+// another (inclusive of both endpoints), or nil when the backbone has
+// no route.
+func (b *Backbone) Route(from, to int) []int {
+	if from == to || from < 0 || to < 0 || from >= len(b.names) || to >= len(b.names) {
+		return nil
+	}
+	if b.links == nil {
+		return []int{from, to}
+	}
+	if b.next == nil {
+		b.computeRoutes()
+	}
+	path := []int{from}
+	for cur := from; cur != to; {
+		nxt := b.next[cur][to]
+		if nxt < 0 {
+			return nil
+		}
+		path = append(path, nxt)
+		cur = nxt
+	}
+	return path
+}
+
+// Hops returns the backbone hop count between two cells, or -1 when no
+// route exists.
+func (b *Backbone) Hops(from, to int) int {
+	if from == to {
+		return 0
+	}
+	path := b.Route(from, to)
+	if path == nil {
+		return -1
+	}
+	return len(path) - 1
+}
+
+// pathNames renders a route as cell names.
+func (b *Backbone) pathNames(path []int) []string {
+	out := make([]string, len(path))
+	for i, idx := range path {
+		out[i] = b.names[idx]
+	}
+	return out
+}
+
+// transferTime returns one hop's latency plus serialization for a payload.
+func (b *Backbone) transferTime(link LinkConfig, bytes int) time.Duration {
+	ser := time.Duration(float64(bytes*8) / link.BandwidthBPS * float64(time.Second))
+	return link.Latency + ser
+}
+
+// Send ships payload from one cell's gateway to another's along the
+// shortest backbone route. onDeliver runs when the transfer arrives;
+// onFail runs if no route exists or every retransmission is lost (both
+// may be nil). Every transfer publishes a BackboneRouteEvent with the
+// chosen path, and every attempt, delivery and loss publishes a
+// BackboneEvent on the campus bus.
 func (b *Backbone) Send(from, to int, payload []byte, onDeliver func([]byte), onFail func()) {
-	b.attempt(from, to, payload, 0, onDeliver, onFail)
+	path := b.Route(from, to)
+	if path == nil {
+		b.stats.Failed++
+		b.bus.publish(BackboneEvent{
+			At: b.eng.Now(), From: b.names[from], To: b.names[to], Kind: BackboneFail, Bytes: len(payload),
+		})
+		if onFail != nil {
+			onFail()
+		}
+		return
+	}
+	b.bus.publish(BackboneRouteEvent{
+		At: b.eng.Now(), From: b.names[from], To: b.names[to],
+		Path: b.pathNames(path), Bytes: len(payload),
+	})
+	b.attempt(path, payload, 0, onDeliver, onFail)
 }
 
-func (b *Backbone) attempt(from, to int, payload []byte, try int, onDeliver func([]byte), onFail func()) {
+// attempt starts one end-to-end transmission along the route.
+func (b *Backbone) attempt(path []int, payload []byte, try int, onDeliver func([]byte), onFail func()) {
+	from, to := path[0], path[len(path)-1]
 	b.stats.Sent++
 	b.bus.publish(BackboneEvent{
 		At: b.eng.Now(), From: b.names[from], To: b.names[to], Kind: BackboneSend, Bytes: len(payload),
 	})
-	b.eng.After(b.transferTime(len(payload)), func() {
-		if b.cfg.PER > 0 && b.rng.Bool(b.cfg.PER) {
+	b.hop(path, 0, payload, try, onDeliver, onFail)
+}
+
+// hop traverses one link of the route: pay the link's delay, draw its
+// loss, then forward or deliver.
+func (b *Backbone) hop(path []int, i int, payload []byte, try int, onDeliver func([]byte), onFail func()) {
+	from, to := path[0], path[len(path)-1]
+	link := b.linkConfig(path[i], path[i+1])
+	b.eng.After(b.transferTime(link, len(payload)), func() {
+		if link.PER > 0 && b.rng.Bool(link.PER) {
 			b.stats.Dropped++
+			via := ""
+			if path[i] != from {
+				via = b.names[path[i]]
+			}
 			b.bus.publish(BackboneEvent{
-				At: b.eng.Now(), From: b.names[from], To: b.names[to], Kind: BackboneDrop, Bytes: len(payload),
+				At: b.eng.Now(), From: b.names[from], To: b.names[to], Kind: BackboneDrop,
+				Bytes: len(payload), Via: via,
 			})
 			if try+1 > b.cfg.MaxRetries {
 				b.stats.Failed++
@@ -129,8 +366,13 @@ func (b *Backbone) attempt(from, to int, payload []byte, try int, onDeliver func
 				return
 			}
 			b.eng.After(b.cfg.RetryAfter, func() {
-				b.attempt(from, to, payload, try+1, onDeliver, onFail)
+				b.attempt(path, payload, try+1, onDeliver, onFail)
 			})
+			return
+		}
+		if i+1 < len(path)-1 {
+			b.stats.Forwarded++
+			b.hop(path, i+1, payload, try, onDeliver, onFail)
 			return
 		}
 		b.stats.Delivered++
@@ -155,13 +397,16 @@ const (
 )
 
 // BackboneEvent fires for every backbone transfer attempt, delivery and
-// loss. From/To are cell names.
+// loss. From/To are the end-to-end cell names; Via names the
+// intermediate cell a multi-hop transfer was lost at ("" when the loss
+// happened on the first hop or the route is single-hop).
 type BackboneEvent struct {
 	At    time.Duration
 	From  string
 	To    string
 	Kind  BackboneEventKind
 	Bytes int
+	Via   string
 }
 
 // When implements Event.
@@ -169,5 +414,28 @@ func (e BackboneEvent) When() time.Duration { return e.At }
 
 // String implements Event.
 func (e BackboneEvent) String() string {
+	if e.Via != "" {
+		return fmt.Sprintf("%v backbone kind=%s from=%s to=%s via=%s bytes=%d",
+			e.At, e.Kind, e.From, e.To, e.Via, e.Bytes)
+	}
 	return fmt.Sprintf("%v backbone kind=%s from=%s to=%s bytes=%d", e.At, e.Kind, e.From, e.To, e.Bytes)
+}
+
+// BackboneRouteEvent fires once per backbone transfer with the route the
+// transfer will follow (inclusive of both endpoint cells).
+type BackboneRouteEvent struct {
+	At    time.Duration
+	From  string
+	To    string
+	Path  []string
+	Bytes int
+}
+
+// When implements Event.
+func (e BackboneRouteEvent) When() time.Duration { return e.At }
+
+// String implements Event.
+func (e BackboneRouteEvent) String() string {
+	return fmt.Sprintf("%v backbone-route from=%s to=%s path=%s bytes=%d",
+		e.At, e.From, e.To, strings.Join(e.Path, ">"), e.Bytes)
 }

@@ -570,6 +570,51 @@ func BenchmarkAssignOptimalGap(b *testing.B) {
 	}
 }
 
+// --- Federation: placement policies on the ring backbone ------------------------
+
+// BenchmarkPlacementPolicies runs the policy-comparison workload (the
+// refinery on the lossy ring backbone with an outage window on unit-a)
+// once per policy and reports the coordinator overload ticks — the
+// headline of the PR-3 policy experiment. Campus-BQP should report 1.
+func BenchmarkPlacementPolicies(b *testing.B) {
+	for _, pol := range []string{PolicyLeastLoaded, PolicyCampusBQP, PolicyAffinity} {
+		pol := pol
+		b.Run(pol, func(b *testing.B) {
+			var overloads, rebalances float64
+			for i := 0; i < b.N; i++ {
+				res := (&Runner{Workers: 1}).Run([]RunSpec{{
+					Scenario: ScenarioRefineryRing, Seed: uint64(i + 2), Horizon: 35 * time.Second,
+					Faults:    RefineryOutagePlan(10*time.Second, 22*time.Second),
+					FaultCell: "unit-a", Policy: pol,
+				}})
+				if res[0].Err != nil {
+					b.Fatal(res[0].Err)
+				}
+				overloads += res[0].Metrics[MetricCellOverloads]
+				rebalances += res[0].Metrics[MetricRebalances]
+			}
+			b.ReportMetric(overloads/float64(b.N), "overload-ticks")
+			b.ReportMetric(rebalances/float64(b.N), "rebalances")
+		})
+	}
+}
+
+// BenchmarkPipelineLineCell measures the multi-hop line scenario: a full
+// fault-free horizon plus the relayed-fragment volume.
+func BenchmarkPipelineLineCell(b *testing.B) {
+	var relayed float64
+	for i := 0; i < b.N; i++ {
+		exp, err := BuildScenario(RunSpec{Scenario: ScenarioPipeline, Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		exp.Cell.Run(30 * time.Second)
+		relayed = exp.Metrics()["relayed_frags"]
+		exp.Cleanup()
+	}
+	b.ReportMetric(relayed, "relayed-frags")
+}
+
 // --- Core data-path micro-benchmarks --------------------------------------------
 
 func BenchmarkVMInterpreterStep(b *testing.B) {

@@ -25,15 +25,16 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (e1..e10, fed, grid or all)")
+	exp := flag.String("exp", "all", "experiment to run (e1..e10, fed, policy, pipe, grid or all)")
 	flag.StringVar(&eventDir, "events", "", "directory for per-run event CSVs from the grid sweep (empty = off)")
 	flag.Parse()
 	experiments := map[string]func() error{
 		"e1": e1Fig6, "e2": e2Failover, "e3": e3MACLifetime, "e4": e4SyncJitter,
 		"e5": e5ControlCycle, "e6": e6Migration, "e7": e7BQP, "e8": e8Degradation,
-		"e9": e9Admission, "e10": e10Attestation, "fed": fedCampus, "grid": gridSweep,
+		"e9": e9Admission, "e10": e10Attestation, "fed": fedCampus,
+		"policy": policyCompare, "pipe": pipeLine, "grid": gridSweep,
 	}
-	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "fed", "grid"}
+	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "fed", "policy", "pipe", "grid"}
 	if *exp != "all" {
 		fn, ok := experiments[*exp]
 		if !ok {
@@ -526,6 +527,87 @@ func fedCampus() error {
 	return nil
 }
 
+// policyCompare sweeps the three placement policies over identical
+// seeds on the refinery-ring scenario: an explicit ring backbone whose
+// far side is lossy, with a whole-cell outage window on unit-a
+// (killed at 10s, recovered at 22s) and homeward rebalancing. The
+// routing-aware campus-BQP policy keeps every escalation on clean
+// one-hop links, so the outage resolves in one coordinator tick; the
+// topology-blind least-loaded policy ships a task into the lossy
+// two-hop path and pays extra overload ticks (and backbone drops) for
+// it.
+func policyCompare() error {
+	header("POLICY", "placement policies on a lossy ring backbone (refinery, outage 10s-22s)")
+	plan := evm.RefineryOutagePlan(10*time.Second, 22*time.Second)
+	seeds := []uint64{1, 2, 3, 4}
+	fmt.Println("  policy         overloads  migrations  rebalances  bb-drops  foreign-end  home-end")
+	type row struct {
+		policy    string
+		overloads float64
+	}
+	var rows []row
+	for _, pol := range []string{evm.PolicyLeastLoaded, evm.PolicyCampusBQP, evm.PolicyAffinity} {
+		specs := make([]evm.RunSpec, 0, len(seeds))
+		for _, seed := range seeds {
+			specs = append(specs, evm.RunSpec{
+				Scenario: evm.ScenarioRefineryRing, Seed: seed, Horizon: 35 * time.Second,
+				Faults: plan, FaultCell: "unit-a", Policy: pol,
+			})
+		}
+		results := (&evm.Runner{}).Run(specs)
+		for _, r := range results {
+			if r.Err != nil {
+				return fmt.Errorf("%s: %w", r.Spec.Label(), r.Err)
+			}
+			if r.Policy != pol {
+				return fmt.Errorf("%s: builder resolved policy %q, want %q", r.Spec.Label(), r.Policy, pol)
+			}
+		}
+		agg := evm.Aggregate(results)[evm.ScenarioRefineryRing]
+		fmt.Printf("  %-13s  %9.2f  %10.2f  %10.2f  %8.2f  %11.2f  %8.2f\n",
+			results[0].Policy,
+			agg[evm.MetricCellOverloads].Mean,
+			agg[evm.MetricInterCellMigrations].Mean,
+			agg[evm.MetricRebalances].Mean,
+			agg[evm.MetricBackboneDropped].Mean,
+			agg["tasks_foreign"].Mean,
+			agg["tasks_home"].Mean)
+		rows = append(rows, row{policy: pol, overloads: agg[evm.MetricCellOverloads].Mean})
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].overloads < rows[j].overloads })
+	fmt.Printf("  fewest overload ticks: %s (same seeds, same faults — only the policy differs)\n",
+		rows[0].policy)
+	return nil
+}
+
+// pipeLine demonstrates the multi-hop line cell: sensor snapshots relay
+// down the line, actuations relay back, and a far-end primary crash
+// fails over across the line without losing the actuation path.
+func pipeLine() error {
+	header("PIPE", "multi-hop pipeline line cell (BuildLineSchedule + static line routes)")
+	exp, err := evm.BuildScenario(evm.RunSpec{Scenario: evm.ScenarioPipeline, Seed: 1})
+	if err != nil {
+		return err
+	}
+	defer exp.Cleanup()
+	log := exp.Cell.Events().Log()
+	exp.Cell.Run(10 * time.Second)
+	isAct := func(ev evm.Event) bool { _, ok := ev.(evm.ActuationEvent); return ok }
+	pre := log.Count(isAct)
+	if err := exp.Cell.ApplyFaultPlan(evm.PipelinePrimaryCrashPlan(0)); err != nil {
+		return err
+	}
+	exp.Cell.Run(20 * time.Second)
+	post := log.Count(isAct) - pre
+	m := exp.Metrics()
+	fmt.Printf("  actuations at gateway   %4d before crash, %d after (relayed hop by hop)\n", pre, post)
+	fmt.Printf("  fail-over across line   primary %d -> active %v\n", evm.PipePrimary, m["active_controller"])
+	fmt.Printf("  fragments relayed       %6.0f\n", m["relayed_frags"])
+	fmt.Printf("  mean line duty cycle    %6.3f (mesh equivalent: %.3f)\n",
+		m["line_duty"], float64(1+3+3*4)/50.0) // sync + 3 own + 12 listen slots
+	return nil
+}
+
 // gridSweep exercises the scenario registry and the parallel Runner: a
 // scenario x seed x fault-plan grid fans out across worker goroutines and
 // the per-run metrics are aggregated per scenario (the ROADMAP's
@@ -544,7 +626,8 @@ func gridSweep() error {
 	}
 	scenarios := []string{
 		evm.ScenarioGasPlant, evm.ScenarioEightController, evm.ScenarioCapacity,
-		evm.ScenarioCampusFailover, evm.ScenarioRefinery,
+		evm.ScenarioCampusFailover, evm.ScenarioRefinery, evm.ScenarioRefineryRing,
+		evm.ScenarioPipeline,
 	}
 	specs := evm.SpecGrid(scenarios,
 		[]uint64{1, 2, 3, 4},

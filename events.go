@@ -284,8 +284,12 @@ func eventSeriesName(ev Event) string {
 		return "intercell_migrations"
 	case CellOverloadEvent:
 		return "cell_overloads"
+	case CellRecoveredEvent:
+		return "cell_recoveries"
 	case BackboneEvent:
 		return "backbone_transfers"
+	case BackboneRouteEvent:
+		return "backbone_routes"
 	default:
 		return "other"
 	}

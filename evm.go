@@ -209,7 +209,7 @@ func newCell(name string, eng *sim.Engine, rng *sim.RNG, cfg CellConfig, spec ce
 			return nil, err
 		}
 	}
-	sched, err := rtlink.BuildMeshScheduleK(spec.ids, cfg.Link, cfg.SlotsPerNode)
+	sched, err := buildCellSchedule(spec, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -227,6 +227,36 @@ func newCell(name string, eng *sim.Engine, rng *sim.RNG, cfg CellConfig, spec ce
 		med.ForcePER(spec.per)
 	}
 	return c, nil
+}
+
+// buildCellSchedule derives the cell's TDMA schedule from its options:
+// the default full mesh with SlotsPerNode TX slots per member, or — with
+// WithLineSchedule — SlotsPerNode interleaved rounds of a multi-hop line
+// schedule in which each slot is heard only by the owner's immediate
+// line neighbors.
+func buildCellSchedule(spec cellSpec, cfg CellConfig) (rtlink.Schedule, error) {
+	if !spec.line {
+		return rtlink.BuildMeshScheduleK(spec.ids, cfg.Link, cfg.SlotsPerNode)
+	}
+	order := spec.lineOrder
+	if len(order) == 0 {
+		order = spec.ids
+	}
+	if cfg.SlotsPerNode*len(order)+1 > cfg.Link.SlotsPerFrame {
+		return nil, fmt.Errorf("evm: line of %d x %d rounds does not fit in %d slots",
+			len(order), cfg.SlotsPerNode, cfg.Link.SlotsPerFrame)
+	}
+	base, err := rtlink.BuildLineSchedule(order, cfg.Link)
+	if err != nil {
+		return nil, err
+	}
+	sched := make(rtlink.Schedule, cfg.SlotsPerNode*len(order))
+	for round := 0; round < cfg.SlotsPerNode; round++ {
+		for slot, as := range base {
+			sched[slot+round*len(order)] = as
+		}
+	}
+	return sched, nil
 }
 
 // NewCell builds a cell with the given member IDs placed on a line with
@@ -436,6 +466,74 @@ func (c *Cell) StartSensorFeed(src NodeID, period time.Duration, sample func() [
 		_ = link.Send(rtlink.Message{Dst: radio.Broadcast, Kind: wire.KindSensor, Payload: payload})
 	})
 	return tk, nil
+}
+
+// StartSensorFeedTo is StartSensorFeed for multi-hop cells: instead of a
+// single-hop broadcast (which only a line cell's immediate neighbors
+// hear), each sample is unicast to every listed destination so the
+// link-layer line routes relay it station by station.
+func (c *Cell) StartSensorFeedTo(src NodeID, period time.Duration, sample func() []SensorReading, dsts ...NodeID) (*sim.Ticker, error) {
+	link := c.net.Link(src)
+	if link == nil {
+		return nil, fmt.Errorf("evm: node %v not joined", src)
+	}
+	if period <= 0 {
+		return nil, fmt.Errorf("evm: feed period %v", period)
+	}
+	if len(dsts) == 0 {
+		return nil, fmt.Errorf("evm: unicast feed needs at least one destination")
+	}
+	for _, dst := range dsts {
+		if c.net.Link(dst) == nil {
+			return nil, fmt.Errorf("evm: feed destination %v not joined", dst)
+		}
+	}
+	tk := c.eng.Every(period, func() {
+		payload, err := wire.EncodeSensors(sample())
+		if err != nil {
+			return
+		}
+		for _, dst := range dsts {
+			_ = link.Send(rtlink.Message{Dst: dst, Kind: wire.KindSensor, Payload: payload})
+		}
+	})
+	return tk, nil
+}
+
+// InstallLineRoutes installs the static next-hop routing table of a
+// multi-hop line cell: every station learns, for every other station,
+// the line neighbor leading toward it, so unicast traffic (sensor
+// snapshots outward, actuations back to the gateway, fault reports to
+// the head) is relayed hop by hop through the intermediate stations.
+// order is the station sequence along the line (empty = member order);
+// it must match the WithLineSchedule order.
+func (c *Cell) InstallLineRoutes(order ...NodeID) error {
+	if len(order) == 0 {
+		order = c.ids
+	}
+	for i, id := range order {
+		link := c.net.Link(id)
+		if link == nil {
+			return fmt.Errorf("evm: node %v not joined", id)
+		}
+		for j, dst := range order {
+			if i == j {
+				continue
+			}
+			next := dst
+			switch {
+			case j > i+1:
+				next = order[i+1]
+			case j < i-1:
+				next = order[i-1]
+			}
+			// Adjacent destinations get an explicit identity route too:
+			// the entry is what marks this station as a relay for
+			// fragments passing through it.
+			link.SetRoute(dst, next)
+		}
+	}
+	return nil
 }
 
 // Run advances virtual time by d.

@@ -43,6 +43,18 @@ type CampusConfig struct {
 	Seed uint64
 	// Backbone configures the inter-cell network (zero value = defaults).
 	Backbone BackboneConfig
+	// Links declares an explicit per-link backbone topology (applied via
+	// Backbone.AddLink in order). Empty keeps the implicit full mesh.
+	Links []BackboneLink
+	// Placement picks the destination cell when a task escalates across
+	// the backbone (nil = LeastLoadedPolicy, the pre-policy behavior).
+	Placement PlacementPolicy
+	// Rebalance, when set, migrates foreign tasks home once their origin
+	// cell recovers. Nil keeps tasks where fail-over put them — note
+	// that a recovered cell's stale master then resumes actuating
+	// alongside the foreign copy (split-brain); only the rebalance
+	// path's homecoming promotion demotes it.
+	Rebalance RebalancePolicy
 	// CheckPeriod is the federation coordinator's scan-and-checkpoint
 	// cadence (default 1 s): each tick snapshots every task's state and
 	// escalates fail-over for stranded tasks.
@@ -63,6 +75,10 @@ type taskPlacement struct {
 	foreign   bool // true once migrated out of its origin cell
 	migrating bool // transfer in flight on the backbone
 	dest      int  // destination cell of the in-flight transfer
+	// localCands are the in-cell candidates the hosting cell's head
+	// adopted for a foreign task (master first), so fail-over stays
+	// local to the cell.
+	localCands []NodeID
 }
 
 // Campus federates N cells into one schedulable, fault-tolerant system:
@@ -71,12 +87,16 @@ type taskPlacement struct {
 // bridges the cell gateways; and the federation coordinator escalates
 // fail-over across cells — when a cell exhausts local migration
 // candidates (or its head dies), the task capsule is checkpointed,
-// shipped over the backbone and re-deployed in a peer cell.
+// shipped over the backbone and re-deployed in a peer cell chosen by
+// the campus PlacementPolicy. The hosting cell's head adopts foreign
+// tasks (registering an in-cell backup candidate) so later fail-over is
+// local, and a RebalancePolicy migrates tasks home when their origin
+// cell recovers.
 //
 // All cell event streams, plus the campus-level CellOverloadEvent,
-// InterCellMigrationEvent and BackboneEvent, merge into one
-// deterministic campus event stream (Events): equal seeds reproduce the
-// merged stream byte for byte.
+// InterCellMigrationEvent, CellRecoveredEvent, BackboneRouteEvent and
+// BackboneEvent, merge into one deterministic campus event stream
+// (Events): equal seeds reproduce the merged stream byte for byte.
 type Campus struct {
 	cfg      CampusConfig
 	eng      *sim.Engine
@@ -87,7 +107,12 @@ type Campus struct {
 	backbone *Backbone
 	busImpl  *Bus
 
+	policy    PlacementPolicy
+	rebalance RebalancePolicy
+
 	placements map[string]*taskPlacement // key: originCell + "/" + taskID
+	taskKeys   map[string]string         // task ID -> placement key
+	cellDown   []bool                    // head-down state, for recovery events
 	feeds      []*sim.Ticker
 	ticker     *sim.Ticker
 }
@@ -112,6 +137,13 @@ func NewCampus(cfg CampusConfig, specs ...CellSpec) (*Campus, error) {
 		rng:        sim.NewRNG(cfg.Seed),
 		byName:     make(map[string]int, len(specs)),
 		placements: make(map[string]*taskPlacement),
+		taskKeys:   make(map[string]string),
+		policy:     cfg.Placement,
+		rebalance:  cfg.Rebalance,
+		cellDown:   make([]bool, len(specs)),
+	}
+	if c.policy == nil {
+		c.policy = LeastLoadedPolicy{}
 	}
 	names := make([]string, len(specs))
 	for i, cs := range specs {
@@ -161,21 +193,27 @@ func NewCampus(cfg CampusConfig, specs ...CellSpec) (*Campus, error) {
 		for _, t := range cs.VC.Tasks {
 			// Task IDs must be campus-unique: a cell cannot host a
 			// foreign replica of a task ID its own head arbitrates.
-			for _, other := range c.placements {
-				if other.spec.ID == t.ID {
-					c.Stop()
-					return nil, fmt.Errorf("evm: task %q declared in more than one cell", t.ID)
-				}
+			if _, dup := c.taskKeys[t.ID]; dup {
+				c.Stop()
+				return nil, fmt.Errorf("evm: task %q declared in more than one cell", t.ID)
 			}
-			c.placements[name+"/"+t.ID] = &taskPlacement{
+			key := name + "/" + t.ID
+			c.placements[key] = &taskPlacement{
 				origin: i, cell: i, node: t.Candidates[0], spec: t,
 			}
+			c.taskKeys[t.ID] = key
 		}
 	}
 	c.backbone = newBackbone(c.eng, c.rng.Fork(), cfg.Backbone, names, c.bus())
+	for _, l := range cfg.Links {
+		if err := c.backbone.AddLink(l.A, l.B, l.Config); err != nil {
+			c.Stop()
+			return nil, err
+		}
+	}
 	// Track local fail-overs so checkpoints follow the task to its new
-	// master. Foreign tasks are never arbitrated by the hosting cell's
-	// head, so only native placements move here.
+	// master. Adopted foreign tasks are arbitrated by the hosting cell's
+	// head, so any placement currently in the event's cell moves here.
 	c.bus().Subscribe(func(ev Event) {
 		ce, ok := ev.(CellEvent)
 		if !ok {
@@ -185,8 +223,15 @@ func NewCampus(cfg CampusConfig, specs ...CellSpec) (*Campus, error) {
 		if !ok {
 			return
 		}
-		idx := c.byName[ce.Cell]
-		if p, ok := c.placements[ce.Cell+"/"+fo.Task]; ok && !p.foreign && p.cell == idx {
+		idx, ok := c.byName[ce.Cell]
+		if !ok {
+			return
+		}
+		key, ok := c.taskKeys[fo.Task]
+		if !ok {
+			return
+		}
+		if p := c.placements[key]; p.cell == idx {
 			p.node = fo.To
 		}
 	})
@@ -209,6 +254,9 @@ func (c *Campus) Events() *Bus { return c.bus() }
 
 // Backbone returns the inter-cell network.
 func (c *Campus) Backbone() *Backbone { return c.backbone }
+
+// PlacementPolicy returns the campus placement policy.
+func (c *Campus) PlacementPolicy() PlacementPolicy { return c.policy }
 
 // Engine returns the shared virtual-time engine.
 func (c *Campus) Engine() *sim.Engine { return c.eng }
@@ -296,11 +344,18 @@ func (c *Campus) nodeFailed(cell int, id NodeID) bool {
 	return r == nil || r.Failed()
 }
 
-// tick is the coordinator heartbeat: checkpoint every task's state, then
-// escalate fail-over for stranded tasks — tasks whose current node is
-// dead while the hosting cell has no usable local candidate (or no live
-// head to arbitrate one).
+// headDown reports whether a cell's configured head is unreachable.
+func (c *Campus) headDown(cell int) bool {
+	return c.nodeFailed(cell, c.specs[cell].VC.Head)
+}
+
+// tick is the coordinator heartbeat: detect cell recoveries, checkpoint
+// every task's state, escalate fail-over for stranded tasks — tasks
+// whose current node is dead while the hosting cell has no usable local
+// candidate (or no live head to arbitrate one) — and offer foreign
+// tasks of healthy origin cells to the rebalance policy.
 func (c *Campus) tick() {
+	c.detectRecoveries()
 	type stranded struct {
 		key    string
 		p      *taskPlacement
@@ -321,18 +376,23 @@ func (c *Campus) tick() {
 			}
 			continue
 		}
-		headDown := c.nodeFailed(p.cell, c.specs[p.cell].VC.Head)
-		if !p.foreign {
-			candidateAlive := false
-			for _, cand := range p.spec.Candidates {
-				if cand != p.node && !c.nodeFailed(p.cell, cand) {
-					candidateAlive = true
-					break
-				}
+		headDown := c.headDown(p.cell)
+		// A local candidate plus a live head means in-cell fail-over will
+		// handle it: declared candidates for native tasks, head-adopted
+		// candidates for foreign ones.
+		cands := p.spec.Candidates
+		if p.foreign {
+			cands = p.localCands
+		}
+		candidateAlive := false
+		for _, cand := range cands {
+			if cand != p.node && !c.nodeFailed(p.cell, cand) {
+				candidateAlive = true
+				break
 			}
-			if candidateAlive && !headDown {
-				continue // in-cell fail-over will handle it
-			}
+		}
+		if candidateAlive && !headDown {
+			continue
 		}
 		reason := "candidates-exhausted"
 		if headDown {
@@ -340,39 +400,132 @@ func (c *Campus) tick() {
 		}
 		found = append(found, stranded{key: key, p: p, reason: reason})
 	}
-	if len(found) == 0 {
-		return
-	}
-	// One overload event per affected cell, in cell order.
-	byCell := make(map[int][]string)
-	for _, s := range found {
-		byCell[s.p.cell] = append(byCell[s.p.cell], s.p.spec.ID)
-	}
-	cellIdxs := make([]int, 0, len(byCell))
-	for i := range byCell {
-		cellIdxs = append(cellIdxs, i)
-	}
-	sort.Ints(cellIdxs)
-	for _, i := range cellIdxs {
-		reason := "candidates-exhausted"
-		if c.nodeFailed(i, c.specs[i].VC.Head) {
-			reason = "head-down"
+	if len(found) > 0 {
+		// One overload event per affected cell, in cell order.
+		byCell := make(map[int][]string)
+		for _, s := range found {
+			byCell[s.p.cell] = append(byCell[s.p.cell], s.p.spec.ID)
 		}
-		sort.Strings(byCell[i])
-		c.bus().publish(CellOverloadEvent{
-			At: c.eng.Now(), Cell: c.cellName(i), Reason: reason, Tasks: byCell[i],
+		cellIdxs := make([]int, 0, len(byCell))
+		for i := range byCell {
+			cellIdxs = append(cellIdxs, i)
+		}
+		sort.Ints(cellIdxs)
+		for _, i := range cellIdxs {
+			reason := "candidates-exhausted"
+			if c.headDown(i) {
+				reason = "head-down"
+			}
+			sort.Strings(byCell[i])
+			c.bus().publish(CellOverloadEvent{
+				At: c.eng.Now(), Cell: c.cellName(i), Reason: reason, Tasks: byCell[i],
+			})
+		}
+		for _, s := range found {
+			c.escalate(s.key, s.p)
+		}
+	}
+	c.rebalanceTick()
+}
+
+// detectRecoveries publishes CellRecoveredEvent on a cell's head-down ->
+// head-up transition.
+func (c *Campus) detectRecoveries() {
+	for i := range c.cells {
+		down := c.headDown(i)
+		if down == c.cellDown[i] {
+			continue
+		}
+		if !down {
+			c.bus().publish(CellRecoveredEvent{At: c.eng.Now(), Cell: c.cellName(i)})
+		}
+		c.cellDown[i] = down
+	}
+}
+
+// loads returns per-cell placement counts and utilization sums. Counts
+// attribute an in-flight transfer to both endpoints (the legacy
+// least-loaded accounting); utilization attributes it to the
+// destination only, matching how DisplacedTask records it so capacity
+// arithmetic stays consistent.
+func (c *Campus) loads() (count []int, util []float64) {
+	count = make([]int, len(c.cells))
+	util = make([]float64, len(c.cells))
+	for _, q := range c.placements {
+		u := q.spec.RTOSTask().Utilization()
+		count[q.cell]++
+		if q.migrating {
+			count[q.dest]++
+			util[q.dest] += u
+		} else {
+			util[q.cell] += u
+		}
+	}
+	return count, util
+}
+
+// cellCondition snapshots one cell for a policy request. from is the
+// cell the task currently occupies (hop distances are measured from it).
+func (c *Campus) cellCondition(i, from, origin int, taskID string, count []int, util []float64) CellCondition {
+	capacity := 0.0
+	for _, id := range c.cells[i].ids {
+		if c.cells[i].nodes[id] != nil && !c.nodeFailed(i, id) {
+			capacity++
+		}
+	}
+	return CellCondition{
+		Index:         i,
+		Name:          c.cellName(i),
+		Placed:        count[i],
+		EligibleHosts: len(c.destNodes(i, taskID)),
+		Utilization:   util[i],
+		Capacity:      capacity,
+		Hops:          c.backbone.Hops(from, i),
+		Origin:        i == origin,
+	}
+}
+
+// placementRequest assembles the policy view for one stranded task.
+func (c *Campus) placementRequest(key string, p *taskPlacement) PlacementRequest {
+	count, util := c.loads()
+	req := PlacementRequest{
+		Task:   p.spec,
+		Key:    key,
+		Origin: p.origin,
+		From:   p.cell,
+	}
+	for i := range c.cells {
+		if i == p.cell {
+			continue
+		}
+		req.Cells = append(req.Cells, c.cellCondition(i, p.cell, p.origin, p.spec.ID, count, util))
+	}
+	for _, k := range c.sortedPlacementKeys() {
+		q := c.placements[k]
+		if k == key || (!q.foreign && !q.migrating) {
+			continue
+		}
+		cell := q.cell
+		if q.migrating {
+			cell = q.dest
+		}
+		req.Displaced = append(req.Displaced, DisplacedTask{
+			Key: k, Cell: cell, Util: q.spec.RTOSTask().Utilization(),
 		})
 	}
-	for _, s := range found {
-		c.escalate(s.key, s.p)
-	}
+	return req
 }
 
 // escalate ships one stranded task to a peer cell over the backbone.
 func (c *Campus) escalate(key string, p *taskPlacement) {
-	dst, ok := c.pickDestCell(p)
+	dst, ok := c.policy.PickCell(c.placementRequest(key, p))
 	if !ok {
 		return // no peer can host it; retry next tick
+	}
+	// Re-validate the policy's pick; an invalid cell retries next tick.
+	if dst < 0 || dst >= len(c.cells) || dst == p.cell ||
+		c.backbone.Hops(p.cell, dst) < 0 || len(c.destNodes(dst, p.spec.ID)) == 0 {
+		return
 	}
 	ex := p.export
 	if !p.have {
@@ -392,36 +545,11 @@ func (c *Campus) escalate(key string, p *taskPlacement) {
 		func() { p.migrating = false })
 }
 
-// pickDestCell selects the peer cell to host a stranded task: the live
-// cell (at least one node able to take the task) carrying the fewest
-// tasks — counting transfers already in flight toward it — lowest index
-// on ties. A deterministic least-loaded policy.
-func (c *Campus) pickDestCell(p *taskPlacement) (int, bool) {
-	load := make([]int, len(c.cells))
-	for _, q := range c.placements {
-		load[q.cell]++
-		if q.migrating {
-			load[q.dest]++
-		}
-	}
-	best, bestLoad, found := 0, 0, false
-	for i := range c.cells {
-		if i == p.cell {
-			continue
-		}
-		if len(c.destNodes(i, p.spec.ID)) == 0 {
-			continue
-		}
-		if !found || load[i] < bestLoad {
-			best, bestLoad, found = i, load[i], true
-		}
-	}
-	return best, found
-}
-
 // destNodes lists a cell's eligible hosts for a task — live runtimes not
 // already holding a replica of it — least-loaded (fewest replicas)
-// first, lowest ID on ties.
+// first, lowest ID on ties. The cell head sorts last: the arbiter is a
+// host of last resort, so a hosting-node fault can still be resolved by
+// in-cell fail-over.
 func (c *Campus) destNodes(cell int, taskID string) []NodeID {
 	var out []NodeID
 	for _, id := range c.cells[cell].ids {
@@ -435,15 +563,20 @@ func (c *Campus) destNodes(cell int, taskID string) []NodeID {
 		out = append(out, id)
 	}
 	cellNodes := c.cells[cell].nodes
+	head := c.specs[cell].VC.Head
 	sort.SliceStable(out, func(i, j int) bool {
+		if (out[i] == head) != (out[j] == head) {
+			return out[j] == head
+		}
 		return cellNodes[out[i]].ReplicaCount() < cellNodes[out[j]].ReplicaCount()
 	})
 	return out
 }
 
 // deliver lands a task export in the destination cell: pick a host,
-// attest + admit + restore via core.ImportTask, activate it, and publish
-// the InterCellMigrationEvent.
+// attest + admit + restore via core.ImportTask, activate it, publish
+// the InterCellMigrationEvent, and have the hosting cell's head adopt
+// the task so subsequent fail-over is local.
 func (c *Campus) deliver(key string, p *taskPlacement, dst int, payload []byte) {
 	p.migrating = false
 	ex, err := wire.DecodeTaskExport(payload)
@@ -451,11 +584,22 @@ func (c *Campus) deliver(key string, p *taskPlacement, dst int, payload []byte) 
 		return
 	}
 	fromCell, fromNode := p.cell, p.node
+	wasForeign, oldCands := p.foreign, p.localCands
 	for _, id := range c.destNodes(dst, ex.TaskID) {
 		if err := c.cells[dst].nodes[id].ImportTask(p.spec, ex, true); err != nil {
 			continue // e.g. schedulability admission failed; try the next host
 		}
-		p.cell, p.node, p.foreign = dst, id, true
+		if wasForeign {
+			// Leaving a foreign host: retire the stale copies there (the
+			// dead master and any adopted backup — whose node may recover
+			// later) and the old head's adoption, so the departed cell
+			// can never re-promote the task into a second master.
+			c.retireForeignCopies(fromCell, ex.TaskID, oldCands)
+		}
+		// A policy may escalate a stranded foreign task straight back to
+		// its origin cell (e.g. affinity after the origin recovered):
+		// that delivery is a homecoming, not a foreign placement.
+		p.cell, p.node, p.foreign = dst, id, dst != p.origin
 		c.bus().publish(InterCellMigrationEvent{
 			At:       c.eng.Now(),
 			Task:     ex.TaskID,
@@ -464,9 +608,164 @@ func (c *Campus) deliver(key string, p *taskPlacement, dst int, payload []byte) 
 			From:     fromNode,
 			To:       id,
 		})
+		if p.foreign {
+			c.adoptForeign(dst, p, ex)
+		} else {
+			p.localCands = nil
+			// Realign the origin head's arbitration with the imported
+			// master, or its next health bundle would demote it.
+			if hn := c.cells[dst].nodes[c.specs[dst].VC.Head]; hn != nil && hn.Head() != nil && !c.headDown(dst) {
+				if old, ok := hn.Head().ActiveNode(ex.TaskID); ok && old != id {
+					hn.Head().Promote(ex.TaskID, id, old)
+				}
+			}
+		}
 		return
 	}
 	// No host could admit it; the next tick retries (possibly elsewhere).
+}
+
+// adoptForeign registers a freshly imported foreign task with the
+// hosting cell's head and provisions an in-cell backup replica, so the
+// next fault of the hosting node is resolved by ordinary in-cell
+// fail-over instead of another backbone round-trip.
+func (c *Campus) adoptForeign(dst int, p *taskPlacement, ex wire.TaskExport) {
+	p.localCands = []NodeID{p.node}
+	headID := c.specs[dst].VC.Head
+	headNode := c.cells[dst].nodes[headID]
+	if headNode == nil || headNode.Head() == nil || c.nodeFailed(dst, headID) {
+		return // no live head to arbitrate; the coordinator stays in charge
+	}
+	if cands := c.destNodes(dst, ex.TaskID); len(cands) > 0 {
+		backup := cands[0]
+		spec := p.spec
+		spec.Candidates = []NodeID{p.node, backup}
+		if err := c.cells[dst].nodes[backup].ImportTask(spec, ex, false); err == nil {
+			p.localCands = append(p.localCands, backup)
+		}
+	}
+	adopted := p.spec
+	adopted.Candidates = append([]NodeID(nil), p.localCands...)
+	headNode.Head().AdoptTask(adopted, p.node)
+}
+
+// rebalanceTick offers every settled foreign task whose origin cell is
+// healthy again to the rebalance policy, and ships accepted tasks home.
+func (c *Campus) rebalanceTick() {
+	if c.rebalance == nil {
+		return
+	}
+	for _, key := range c.sortedPlacementKeys() {
+		p := c.placements[key]
+		if !p.foreign || p.migrating || !p.have {
+			continue
+		}
+		if c.nodeFailed(p.cell, p.node) {
+			continue // stranded, not settled: escalation handles it
+		}
+		origin := p.origin
+		if c.headDown(origin) || c.backbone.Hops(p.cell, origin) < 0 {
+			continue
+		}
+		if c.homeHost(origin, p.spec) == 0 {
+			continue
+		}
+		count, util := c.loads()
+		req := RebalanceRequest{
+			Task:   p.spec,
+			Key:    key,
+			Origin: c.cellCondition(origin, p.cell, origin, p.spec.ID, count, util),
+			Host:   c.cellCondition(p.cell, p.cell, origin, p.spec.ID, count, util),
+		}
+		if !c.rebalance.Rehome(req) {
+			continue
+		}
+		payload, err := p.export.Encode()
+		if err != nil {
+			continue
+		}
+		p.migrating = true
+		p.dest = origin
+		c.backbone.Send(p.cell, origin, payload,
+			func(b []byte) { c.deliverHome(key, p, b) },
+			func() { p.migrating = false })
+	}
+}
+
+// retireForeignCopies removes a task's replicas from a cell that used
+// to host it (the listed adopted candidates) and drops the cell head's
+// adoption, so the departed cell can never arbitrate the task again.
+func (c *Campus) retireForeignCopies(cell int, taskID string, cands []NodeID) {
+	for _, id := range cands {
+		if n := c.cells[cell].nodes[id]; n != nil {
+			_ = n.RetireTask(taskID)
+		}
+	}
+	if hn := c.cells[cell].nodes[c.specs[cell].VC.Head]; hn != nil && hn.Head() != nil {
+		hn.Head().DropTask(taskID)
+	}
+}
+
+// homeHost returns the node that should resume a rebalanced task in its
+// origin cell: the first live declared candidate, else the least-loaded
+// eligible host, else 0.
+func (c *Campus) homeHost(origin int, spec TaskSpec) NodeID {
+	for _, cand := range spec.Candidates {
+		if c.cells[origin].nodes[cand] != nil && !c.nodeFailed(origin, cand) {
+			return cand
+		}
+	}
+	if nodes := c.destNodes(origin, spec.ID); len(nodes) > 0 {
+		return nodes[0]
+	}
+	return 0
+}
+
+// deliverHome lands a rebalanced task back in its origin cell: restore
+// the shipped state into a home replica, retire the foreign copies, and
+// let the origin head re-arbitrate the master (which publishes the
+// usual FailoverEvent inside the origin cell).
+func (c *Campus) deliverHome(key string, p *taskPlacement, payload []byte) {
+	p.migrating = false
+	ex, err := wire.DecodeTaskExport(payload)
+	if err != nil {
+		return
+	}
+	origin := p.origin
+	headNode := c.cells[origin].nodes[c.specs[origin].VC.Head]
+	if headNode == nil || headNode.Head() == nil || c.headDown(origin) {
+		return // origin relapsed mid-flight; stay foreign and retry
+	}
+	dst := c.homeHost(origin, p.spec)
+	if dst == 0 {
+		return
+	}
+	destNode := c.cells[origin].nodes[dst]
+	if destNode.HasReplica(ex.TaskID) {
+		if err := destNode.AdoptState(p.spec, ex); err != nil {
+			return
+		}
+	} else if err := destNode.ImportTask(p.spec, ex, false); err != nil {
+		return
+	}
+	// Retire every foreign copy (master and adopted backup) and the
+	// hosting head's adoption before re-activating at home, so exactly
+	// one master survives.
+	host, hostNode := p.cell, p.node
+	c.retireForeignCopies(host, ex.TaskID, p.localCands)
+	old, _ := headNode.Head().ActiveNode(ex.TaskID)
+	headNode.Head().Promote(ex.TaskID, dst, old)
+	p.cell, p.node, p.foreign, p.localCands = origin, dst, false, nil
+	p.export, p.have = ex, true
+	c.bus().publish(InterCellMigrationEvent{
+		At:        c.eng.Now(),
+		Task:      ex.TaskID,
+		FromCell:  c.cellName(host),
+		ToCell:    c.cellName(origin),
+		From:      hostNode,
+		To:        dst,
+		Rebalance: true,
+	})
 }
 
 // KillNodesPlan returns a fault plan that crashes every listed radio at
@@ -476,6 +775,30 @@ func KillNodesPlan(name string, at time.Duration, ids ...NodeID) FaultPlan {
 	steps := make([]FaultStep, 0, len(ids))
 	for _, id := range ids {
 		steps = append(steps, FaultStep{At: at, CrashNode: id})
+	}
+	return FaultPlan{Name: name, Steps: steps}
+}
+
+// RecoverNodesPlan returns a fault plan that recovers every listed radio
+// at offset at — the counterpart of KillNodesPlan for outage windows.
+func RecoverNodesPlan(name string, at time.Duration, ids ...NodeID) FaultPlan {
+	steps := make([]FaultStep, 0, len(ids))
+	for _, id := range ids {
+		steps = append(steps, FaultStep{At: at, RecoverNode: id})
+	}
+	return FaultPlan{Name: name, Steps: steps}
+}
+
+// OutageWindowPlan crashes every listed radio at from and recovers them
+// at until: the whole-cell outage window that drives escalation out and
+// — with a RebalancePolicy — migration back home.
+func OutageWindowPlan(name string, from, until time.Duration, ids ...NodeID) FaultPlan {
+	steps := make([]FaultStep, 0, 2*len(ids))
+	for _, id := range ids {
+		steps = append(steps, FaultStep{At: from, CrashNode: id})
+	}
+	for _, id := range ids {
+		steps = append(steps, FaultStep{At: until, RecoverNode: id})
 	}
 	return FaultPlan{Name: name, Steps: steps}
 }
@@ -527,15 +850,33 @@ func (e CellOverloadEvent) String() string {
 		e.At, e.Cell, e.Reason, strings.Join(e.Tasks, "+"))
 }
 
+// CellRecoveredEvent fires when a cell's head comes back after an
+// outage — the trigger window in which the RebalancePolicy may migrate
+// the cell's tasks home.
+type CellRecoveredEvent struct {
+	At   time.Duration
+	Cell string
+}
+
+// When implements Event.
+func (e CellRecoveredEvent) When() time.Duration { return e.At }
+
+// String implements Event.
+func (e CellRecoveredEvent) String() string {
+	return fmt.Sprintf("%v cell-recovered cell=%s", e.At, e.Cell)
+}
+
 // InterCellMigrationEvent fires when a task capsule shipped over the
-// backbone is re-deployed and activated in a peer cell.
+// backbone is re-deployed and activated in a peer cell. Rebalance marks
+// the homeward direction: a recovered origin cell taking its task back.
 type InterCellMigrationEvent struct {
-	At       time.Duration
-	Task     string
-	FromCell string
-	ToCell   string
-	From     NodeID
-	To       NodeID
+	At        time.Duration
+	Task      string
+	FromCell  string
+	ToCell    string
+	From      NodeID
+	To        NodeID
+	Rebalance bool
 }
 
 // When implements Event.
@@ -543,6 +884,10 @@ func (e InterCellMigrationEvent) When() time.Duration { return e.At }
 
 // String implements Event.
 func (e InterCellMigrationEvent) String() string {
-	return fmt.Sprintf("%v intercell-migration task=%s from=%s/%d to=%s/%d",
-		e.At, e.Task, e.FromCell, e.From, e.ToCell, e.To)
+	kind := "intercell-migration"
+	if e.Rebalance {
+		kind = "intercell-rebalance"
+	}
+	return fmt.Sprintf("%v %s task=%s from=%s/%d to=%s/%d",
+		e.At, kind, e.Task, e.FromCell, e.From, e.ToCell, e.To)
 }

@@ -32,6 +32,10 @@ type Head struct {
 	lastHealth map[radio.NodeID]time.Duration
 	cooldown   map[string]time.Duration
 	members    map[radio.NodeID]wire.Join
+	// adopted holds task specs imported from peer cells (federation
+	// foreign-task adoption): the head arbitrates them like its own,
+	// using the in-cell candidate set chosen at adoption time.
+	adopted    map[string]TaskSpec
 	dormantEvs []*sim.Event
 	stats      HeadStats
 
@@ -77,6 +81,44 @@ func (h *Head) stop() {
 // Stats returns a copy of the head counters.
 func (h *Head) Stats() HeadStats { return h.stats }
 
+// AdoptTask registers a task imported from a peer cell: the head records
+// the spec (with its in-cell candidate set), marks the given node as the
+// task's master, and admits the candidates as members. From then on the
+// head arbitrates the foreign task's fail-over exactly like a native one.
+func (h *Head) AdoptTask(spec TaskSpec, active radio.NodeID) {
+	if h.adopted == nil {
+		h.adopted = make(map[string]TaskSpec)
+	}
+	h.adopted[spec.ID] = spec
+	h.active[spec.ID] = active
+	for _, cand := range spec.Candidates {
+		if _, ok := h.members[cand]; !ok {
+			h.members[cand] = wire.Join{Node: uint16(cand), CPUCapacity: 1, Battery: 1}
+		}
+	}
+}
+
+// DropTask forgets an adopted task (its home cell took it back). Tasks
+// of the cell's own Virtual Component are never dropped.
+func (h *Head) DropTask(taskID string) {
+	if _, native := h.node.cfg.TaskByID(taskID); native {
+		return
+	}
+	delete(h.adopted, taskID)
+	delete(h.active, taskID)
+	delete(h.cooldown, taskID)
+}
+
+// taskSpec resolves a task the head arbitrates: the cell's own Virtual
+// Component first, then adopted foreign tasks.
+func (h *Head) taskSpec(id string) (TaskSpec, bool) {
+	if s, ok := h.node.cfg.TaskByID(id); ok {
+		return s, true
+	}
+	s, ok := h.adopted[id]
+	return s, ok
+}
+
 // ActiveNode returns the current master for a task.
 func (h *Head) ActiveNode(taskID string) (radio.NodeID, bool) {
 	n, ok := h.active[taskID]
@@ -108,10 +150,21 @@ func (h *Head) onHealthBundle(hb wire.HealthBundle) {
 	}
 	if hb.Battery < 0.05 {
 		// Energy fault: migrate duties away proactively if this node is
-		// a master (paper §3.1.1 op 5).
+		// a master (paper §3.1.1 op 5). Adopted foreign tasks migrate
+		// like native ones, in sorted order for determinism.
 		for _, spec := range h.node.cfg.Tasks {
 			if h.active[spec.ID] == radio.NodeID(hb.Node) {
 				h.failover(spec.ID, radio.NodeID(hb.Node), 0)
+			}
+		}
+		adoptedIDs := make([]string, 0, len(h.adopted))
+		for id := range h.adopted {
+			adoptedIDs = append(adoptedIDs, id)
+		}
+		sort.Strings(adoptedIDs)
+		for _, id := range adoptedIDs {
+			if h.active[id] == radio.NodeID(hb.Node) {
+				h.failover(id, radio.NodeID(hb.Node), 0)
 			}
 		}
 	}
@@ -151,7 +204,7 @@ func (h *Head) onFaultReport(msg rtlink.Message) {
 // candidate that is alive and not the suspect, preferring the reporter as
 // a tie-break fallback.
 func (h *Head) failover(task string, suspect, reporter radio.NodeID) {
-	spec, ok := h.node.cfg.TaskByID(task)
+	spec, ok := h.taskSpec(task)
 	if !ok {
 		return
 	}

@@ -214,6 +214,45 @@ func (n *Node) ImportTask(spec TaskSpec, ex wire.TaskExport, activate bool) erro
 	return nil
 }
 
+// RetireTask removes this node's replica of a task and frees its
+// admission slot. The federation layer retires foreign copies after a
+// rebalanced task resumed in its origin cell, so exactly one master
+// survives campus-wide.
+func (n *Node) RetireTask(taskID string) error {
+	if _, ok := n.replicas[taskID]; !ok {
+		return fmt.Errorf("core: node %v holds no task %s", n.id, taskID)
+	}
+	delete(n.replicas, taskID)
+	kept := make(rtos.TaskSet, 0, len(n.taskset))
+	for _, t := range n.taskset {
+		if t.ID != rtos.TaskID(taskID) {
+			kept = append(kept, t)
+		}
+	}
+	n.taskset = kept
+	return nil
+}
+
+// AdoptState restores an out-of-band state snapshot into this node's
+// existing replica of the task (or imports a fresh replica when none
+// exists). Used when a rebalanced task returns to a home node that kept
+// its replica through the outage: the stale local state is overwritten
+// by the checkpoint the foreign host shipped back.
+func (n *Node) AdoptState(spec TaskSpec, ex wire.TaskExport) error {
+	r, ok := n.replicas[ex.TaskID]
+	if !ok {
+		return n.ImportTask(spec, ex, false)
+	}
+	if len(ex.Blob) > 0 {
+		if err := r.logic.Restore(ex.Blob); err != nil {
+			return fmt.Errorf("restore %s: %w", ex.TaskID, err)
+		}
+	}
+	r.outSeq = ex.Seq
+	n.stats.MigrationsIn++
+	return nil
+}
+
 // ensureAdmitted runs schedulability admission for a task not yet in the
 // node's task set.
 func (n *Node) ensureAdmitted(spec TaskSpec) bool {

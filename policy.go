@@ -1,0 +1,328 @@
+package evm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"evm/internal/bqp"
+)
+
+// Built-in placement policy names for RunSpec.Policy and
+// NewPlacementPolicy.
+const (
+	PolicyLeastLoaded = "least-loaded"
+	PolicyCampusBQP   = "campus-bqp"
+	PolicyAffinity    = "affinity"
+)
+
+// CellCondition is one cell's entry in a placement or rebalance request:
+// the coordinator's deterministic snapshot of the cell's load, capacity
+// and backbone distance at decision time.
+type CellCondition struct {
+	// Index is the cell's position in campus declaration order.
+	Index int
+	// Name is the cell name.
+	Name string
+	// Placed counts the tasks the coordinator currently places in the
+	// cell, including transfers already in flight toward it.
+	Placed int
+	// EligibleHosts is the number of live runtimes able to take the task
+	// (alive and not already holding a replica of it).
+	EligibleHosts int
+	// Utilization is the total CPU utilization demand of the tasks
+	// placed in the cell.
+	Utilization float64
+	// Capacity is the total CPU capacity of the cell's live runtimes.
+	Capacity float64
+	// Hops is the backbone hop count from the cell the task currently
+	// occupies; -1 means the backbone has no route.
+	Hops int
+	// Origin marks the task's declared home cell.
+	Origin bool
+}
+
+// PlacementRequest asks a PlacementPolicy to pick the destination cell
+// for one stranded task. Cells lists every cell except the one the task
+// is stranded in, in campus declaration order.
+type PlacementRequest struct {
+	// Task is the stranded task's spec.
+	Task TaskSpec
+	// Key is the coordinator placement key ("<origin-cell>/<task-id>").
+	Key string
+	// Origin and From are campus cell indices: where the task was
+	// declared and where it is stranded now.
+	Origin int
+	From   int
+	// Cells are the candidate destinations (every cell but From).
+	Cells []CellCondition
+	// Displaced lists every other task currently placed outside its
+	// origin cell (or in flight), sorted by Key — context for policies
+	// that reoptimize the whole campus assignment.
+	Displaced []DisplacedTask
+}
+
+// DisplacedTask is one task running outside its origin cell, as seen by
+// a placement policy.
+type DisplacedTask struct {
+	Key string
+	// Cell is the index of the cell currently hosting the task (the
+	// transfer destination if a move is in flight).
+	Cell int
+	// Util is the task's CPU utilization demand.
+	Util float64
+}
+
+// PlacementPolicy decides which cell hosts a task the federation
+// coordinator escalates across the backbone. Implementations must be
+// deterministic — equal requests must produce equal picks — and must
+// only return cells with EligibleHosts > 0 and Hops >= 0; the
+// coordinator re-validates the pick and drops invalid ones (the task
+// retries next tick).
+type PlacementPolicy interface {
+	// Name returns the policy's registry name.
+	Name() string
+	// PickCell returns the destination cell index, or false when no
+	// listed cell should (or can) take the task.
+	PickCell(req PlacementRequest) (int, bool)
+}
+
+// RebalanceRequest asks a RebalancePolicy whether a task displaced from
+// its origin cell should migrate home now that the origin is healthy
+// again.
+type RebalanceRequest struct {
+	Task TaskSpec
+	Key  string
+	// Origin describes the recovered home cell; Host the cell currently
+	// running the task. Origin.Hops is measured from the host cell.
+	Origin CellCondition
+	Host   CellCondition
+}
+
+// RebalancePolicy is the federation coordinator's cell-recovery hook:
+// every coordinator tick, each foreign task whose origin cell is healthy
+// (live head, reachable, with an eligible host) is offered to the
+// policy; an accepted task is checkpointed, shipped home over the
+// backbone and re-activated by the origin cell's head, and the foreign
+// replicas are retired. A nil policy keeps PR-2 behavior: recovered
+// cells never get their tasks back.
+type RebalancePolicy interface {
+	Name() string
+	// Rehome reports whether the task should migrate back to its origin.
+	Rehome(req RebalanceRequest) bool
+}
+
+// HomewardRebalance migrates every foreign task home as soon as its
+// origin cell is healthy again.
+type HomewardRebalance struct{}
+
+// Name implements RebalancePolicy.
+func (HomewardRebalance) Name() string { return "homeward" }
+
+// Rehome implements RebalancePolicy.
+func (HomewardRebalance) Rehome(RebalanceRequest) bool { return true }
+
+// viable reports whether a cell can take the task at all.
+func (c CellCondition) viable() bool { return c.EligibleHosts > 0 && c.Hops >= 0 }
+
+// LeastLoadedPolicy picks the live cell carrying the fewest tasks
+// (counting transfers in flight), lowest index on ties — the campus
+// default, byte-identical to the pre-policy coordinator.
+type LeastLoadedPolicy struct{}
+
+// Name implements PlacementPolicy.
+func (LeastLoadedPolicy) Name() string { return PolicyLeastLoaded }
+
+// PickCell implements PlacementPolicy.
+func (LeastLoadedPolicy) PickCell(req PlacementRequest) (int, bool) {
+	best, bestLoad, found := 0, 0, false
+	for _, cc := range req.Cells {
+		if !cc.viable() {
+			continue
+		}
+		if !found || cc.Placed < bestLoad {
+			best, bestLoad, found = cc.Index, cc.Placed, true
+		}
+	}
+	return best, found
+}
+
+// AffinityPolicy is sticky-home with spillover: a task goes back to its
+// origin cell whenever the origin can host it; otherwise it spills to
+// the nearest cell by backbone hops, fewest placed tasks then lowest
+// index on ties.
+type AffinityPolicy struct{}
+
+// Name implements PlacementPolicy.
+func (AffinityPolicy) Name() string { return PolicyAffinity }
+
+// PickCell implements PlacementPolicy.
+func (AffinityPolicy) PickCell(req PlacementRequest) (int, bool) {
+	for _, cc := range req.Cells {
+		if cc.Origin && cc.viable() {
+			return cc.Index, true
+		}
+	}
+	best := CellCondition{}
+	found := false
+	for _, cc := range req.Cells {
+		if !cc.viable() {
+			continue
+		}
+		better := !found ||
+			cc.Hops < best.Hops ||
+			(cc.Hops == best.Hops && cc.Placed < best.Placed)
+		if better {
+			best, found = cc, true
+		}
+	}
+	return best.Index, found
+}
+
+// CampusBQPPolicy reoptimizes task placement across cells with the
+// internal BQP solver (the paper's §3.1.1 op 7 lifted to campus scope):
+// cells are the assignment targets, every displaced task is a variable,
+// placement cost combines backbone distance with cell load, cell CPU
+// capacity bounds total placed utilization, and a pairwise penalty
+// spreads displaced tasks. The deterministic greedy solver keeps equal
+// seeds reproducing equal campuses; infeasible instances fall back to
+// least-loaded.
+type CampusBQPPolicy struct{}
+
+// Name implements PlacementPolicy.
+func (CampusBQPPolicy) Name() string { return PolicyCampusBQP }
+
+// hopCostWeight prices one backbone hop in units of placed tasks: a
+// two-hop destination must be at least eight tasks lighter than an
+// adjacent one before the solver prefers it.
+const hopCostWeight = 8
+
+// PickCell implements PlacementPolicy.
+func (CampusBQPPolicy) PickCell(req PlacementRequest) (int, bool) {
+	var cells []CellCondition
+	for _, cc := range req.Cells {
+		if cc.viable() {
+			cells = append(cells, cc)
+		}
+	}
+	if len(cells) == 0 {
+		return 0, false
+	}
+	nTasks := len(req.Displaced) + 1
+	self := nTasks - 1
+	p := &bqp.Problem{
+		Cost: make([][]float64, nTasks),
+		Pair: make([][]float64, nTasks),
+		Util: make([]float64, nTasks),
+		Cap:  make([]float64, len(cells)),
+	}
+	// Capacity left after the cell's settled (non-displaced) load; the
+	// displaced tasks re-enter as variables.
+	for ni, cc := range cells {
+		settled := cc.Utilization
+		for _, d := range req.Displaced {
+			if d.Cell == cc.Index {
+				settled -= d.Util
+			}
+		}
+		if settled < 0 {
+			settled = 0
+		}
+		p.Cap[ni] = cc.Capacity - settled
+	}
+	for ti := 0; ti < nTasks; ti++ {
+		p.Cost[ti] = make([]float64, len(cells))
+		p.Pair[ti] = make([]float64, nTasks)
+	}
+	for ti, d := range req.Displaced {
+		p.Util[ti] = d.Util
+		for ni, cc := range cells {
+			// Keeping a displaced task where it is costs nothing; the
+			// solver may propose moving it, but only the stranded task's
+			// assignment is executed here.
+			if cc.Index == d.Cell {
+				p.Cost[ti][ni] = 0
+			} else {
+				p.Cost[ti][ni] = 40
+			}
+		}
+	}
+	p.Util[self] = req.Task.RTOSTask().Utilization()
+	for ni, cc := range cells {
+		p.Cost[self][ni] = float64(hopCostWeight*cc.Hops) + float64(cc.Placed)
+	}
+	for ti := 0; ti < nTasks; ti++ {
+		for tj := ti + 1; tj < nTasks; tj++ {
+			p.Pair[ti][tj] = 0.25
+			p.Pair[tj][ti] = 0.25
+		}
+	}
+	sol, err := bqp.SolveGreedy(p)
+	if err != nil {
+		return LeastLoadedPolicy{}.PickCell(req)
+	}
+	return cells[sol.Assign[self]].Index, true
+}
+
+// --- policy registry ----------------------------------------------------------
+
+var policyRegistry = struct {
+	sync.RWMutex
+	builders map[string]func() PlacementPolicy
+}{builders: make(map[string]func() PlacementPolicy)}
+
+// RegisterPlacementPolicy adds a named placement policy to the global
+// registry, making it addressable from RunSpec.Policy.
+func RegisterPlacementPolicy(name string, build func() PlacementPolicy) error {
+	if name == "" || build == nil {
+		return fmt.Errorf("evm: placement policy needs a name and a builder")
+	}
+	policyRegistry.Lock()
+	defer policyRegistry.Unlock()
+	if _, dup := policyRegistry.builders[name]; dup {
+		return fmt.Errorf("evm: placement policy %q already registered", name)
+	}
+	policyRegistry.builders[name] = build
+	return nil
+}
+
+// MustRegisterPlacementPolicy is RegisterPlacementPolicy that panics on
+// error — for package init blocks.
+func MustRegisterPlacementPolicy(name string, build func() PlacementPolicy) {
+	if err := RegisterPlacementPolicy(name, build); err != nil {
+		panic(err)
+	}
+}
+
+// PlacementPolicies lists the registered policy names, sorted.
+func PlacementPolicies() []string {
+	policyRegistry.RLock()
+	defer policyRegistry.RUnlock()
+	out := make([]string, 0, len(policyRegistry.builders))
+	for name := range policyRegistry.builders {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NewPlacementPolicy instantiates a registered policy by name. The empty
+// name returns the campus default (least-loaded).
+func NewPlacementPolicy(name string) (PlacementPolicy, error) {
+	if name == "" {
+		return LeastLoadedPolicy{}, nil
+	}
+	policyRegistry.RLock()
+	build := policyRegistry.builders[name]
+	policyRegistry.RUnlock()
+	if build == nil {
+		return nil, fmt.Errorf("evm: unknown placement policy %q (registered: %v)", name, PlacementPolicies())
+	}
+	return build(), nil
+}
+
+func init() {
+	MustRegisterPlacementPolicy(PolicyLeastLoaded, func() PlacementPolicy { return LeastLoadedPolicy{} })
+	MustRegisterPlacementPolicy(PolicyCampusBQP, func() PlacementPolicy { return CampusBQPPolicy{} })
+	MustRegisterPlacementPolicy(PolicyAffinity, func() PlacementPolicy { return AffinityPolicy{} })
+}

@@ -21,14 +21,22 @@ type RunSpec struct {
 	// FaultCell names the cell the plan targets in campus scenarios
 	// ("" = the first cell). Ignored by single-cell scenarios.
 	FaultCell string
+	// Policy names the placement policy campus scenarios resolve through
+	// NewPlacementPolicy ("" = the least-loaded default). Ignored by
+	// single-cell scenarios.
+	Policy string
 }
 
 // Label renders the spec as a stable one-line identifier.
 func (s RunSpec) Label() string {
+	label := fmt.Sprintf("%s/seed=%d/plan=%s", s.Scenario, s.Seed, s.Faults.Label())
 	if s.FaultCell != "" {
-		return fmt.Sprintf("%s/seed=%d/plan=%s@%s", s.Scenario, s.Seed, s.Faults.Label(), s.FaultCell)
+		label += "@" + s.FaultCell
 	}
-	return fmt.Sprintf("%s/seed=%d/plan=%s", s.Scenario, s.Seed, s.Faults.Label())
+	if s.Policy != "" {
+		label += "/policy=" + s.Policy
+	}
+	return label
 }
 
 // Experiment is one runnable scenario instance, produced by a
@@ -42,6 +50,10 @@ type Experiment struct {
 	// Runner drives its shared engine and observes the merged campus
 	// event stream.
 	Campus *Campus
+	// Policy records the placement policy the builder resolved for a
+	// campus scenario (display/aggregation aid; "" for single-cell
+	// scenarios or the default policy).
+	Policy string
 	// DefaultHorizon is used when the spec leaves Horizon zero.
 	DefaultHorizon time.Duration
 	// Metrics extracts the per-run measurements after the horizon.

@@ -17,6 +17,9 @@ type RunResult struct {
 	Spec    RunSpec
 	Err     error
 	Metrics map[string]float64
+	// Policy is the placement policy the scenario builder resolved
+	// (Experiment.Policy; "" for single-cell scenarios).
+	Policy string
 }
 
 // Metric keys the Runner derives from the event bus on top of whatever
@@ -34,6 +37,14 @@ const (
 	MetricInterCellMigrations = "intercell_migrations"
 	MetricCellOverloads       = "cell_overloads"
 	MetricBackboneDelivered   = "backbone_delivered"
+	// MetricBackboneDropped counts per-hop backbone losses.
+	MetricBackboneDropped = "backbone_dropped"
+	// MetricRebalances counts homeward inter-cell migrations (recovered
+	// origin cells taking tasks back); these are also included in
+	// MetricInterCellMigrations.
+	MetricRebalances = "rebalances"
+	// MetricCellRecoveries counts head-down -> head-up transitions.
+	MetricCellRecoveries = "cell_recoveries"
 )
 
 // Runner executes a grid of RunSpecs across worker goroutines. Every
@@ -98,6 +109,7 @@ func (r *Runner) runOne(spec RunSpec) RunResult {
 	if exp.Cleanup != nil {
 		defer exp.Cleanup()
 	}
+	res.Policy = exp.Policy
 	var bus *Bus
 	if exp.Campus != nil {
 		bus = exp.Campus.Events()
@@ -113,6 +125,9 @@ func (r *Runner) runOne(spec RunSpec) RunResult {
 		MetricInterCellMigrations: 0,
 		MetricCellOverloads:       0,
 		MetricBackboneDelivered:   0,
+		MetricBackboneDropped:     0,
+		MetricRebalances:          0,
+		MetricCellRecoveries:      0,
 	}
 	firstFailover := time.Duration(-1)
 	sub := bus.Subscribe(func(ev Event) {
@@ -133,11 +148,19 @@ func (r *Runner) runOne(spec RunSpec) RunResult {
 			counts[MetricJoins]++
 		case InterCellMigrationEvent:
 			counts[MetricInterCellMigrations]++
+			if ev.(InterCellMigrationEvent).Rebalance {
+				counts[MetricRebalances]++
+			}
 		case CellOverloadEvent:
 			counts[MetricCellOverloads]++
+		case CellRecoveredEvent:
+			counts[MetricCellRecoveries]++
 		case BackboneEvent:
-			if ev.(BackboneEvent).Kind == BackboneDeliver {
+			switch ev.(BackboneEvent).Kind {
+			case BackboneDeliver:
 				counts[MetricBackboneDelivered]++
+			case BackboneDrop:
+				counts[MetricBackboneDropped]++
 			}
 		case FaultEvent:
 			// Count injections only — clears and restores are the tail

@@ -16,6 +16,12 @@ const (
 	// two-cell campus where one cell dies wholesale at t=10s and the
 	// coordinator resumes its control loop in the peer cell.
 	ScenarioCampusFailover = "campus-failover"
+	// ScenarioRefineryRing is the refinery campus on an explicit ring
+	// backbone (a-b-c-d-a) whose far side is lossy, with homeward
+	// rebalancing enabled — the policy-comparison workload: the spec's
+	// Policy decides where escalated tasks land, and routing-aware
+	// policies avoid the lossy two-hop path.
+	ScenarioRefineryRing = "refinery-ring"
 )
 
 // RefineryCellNodes is the member count of every refinery unit; node IDs
@@ -36,6 +42,7 @@ func RefineryMembers() []NodeID {
 func init() {
 	MustRegisterScenario(ScenarioRefinery, buildRefineryScenario)
 	MustRegisterScenario(ScenarioCampusFailover, buildCampusFailoverScenario)
+	MustRegisterScenario(ScenarioRefineryRing, buildRefineryRingScenario)
 }
 
 // campusPID is the shared synthetic control law for federation cells.
@@ -90,7 +97,8 @@ func refineryUnit(letter string) CellSpec {
 }
 
 // campusMetrics summarizes coordinator placements: how many tasks exist,
-// how many run outside their origin cell, and how many sit on live nodes.
+// how many run outside their origin cell, how many sit on live nodes,
+// and how many are back home in their origin cell.
 func campusMetrics(campus *Campus) func() map[string]float64 {
 	return func() map[string]float64 {
 		placements := campus.TaskPlacements()
@@ -108,28 +116,90 @@ func campusMetrics(campus *Campus) func() map[string]float64 {
 			"tasks_total":   float64(len(placements)),
 			"tasks_foreign": float64(foreign),
 			"tasks_alive":   float64(alive),
+			"tasks_home":    float64(len(placements) - foreign),
 		}
 	}
 }
 
-// buildRefineryScenario assembles the 4x16 refinery campus. Fault plans
-// from the RunSpec target the cell named by FaultCell (default unit-a).
-func buildRefineryScenario(spec RunSpec) (*Experiment, error) {
+// refineryCells declares the four process-unit cells of the refinery.
+func refineryCells() []CellSpec {
 	units := []string{"a", "b", "c", "d"}
 	cells := make([]CellSpec, 0, len(units))
 	for _, u := range units {
 		cells = append(cells, refineryUnit(u))
 	}
-	campus, err := NewCampus(CampusConfig{Seed: spec.Seed}, cells...)
+	return cells
+}
+
+// buildRefineryScenario assembles the 4x16 refinery campus on the
+// default full-mesh backbone. Fault plans from the RunSpec target the
+// cell named by FaultCell (default unit-a); spec.Policy selects the
+// placement policy (default least-loaded).
+func buildRefineryScenario(spec RunSpec) (*Experiment, error) {
+	policy, err := NewPlacementPolicy(spec.Policy)
+	if err != nil {
+		return nil, err
+	}
+	campus, err := NewCampus(CampusConfig{Seed: spec.Seed, Placement: policy}, refineryCells()...)
 	if err != nil {
 		return nil, err
 	}
 	return &Experiment{
 		Campus:         campus,
+		Policy:         policy.Name(),
 		DefaultHorizon: 30 * time.Second,
 		Metrics:        campusMetrics(campus),
 		Cleanup:        campus.Stop,
 	}, nil
+}
+
+// buildRefineryRingScenario assembles the refinery on an explicit ring
+// backbone — the policy-comparison topology. Links a-b and d-a are
+// clean; the far side (b-c and c-d) drops 90% of hops, so reaching
+// unit-c from unit-a costs two hops with a near-certain retransmit.
+// Placement policies that ignore the backbone (least-loaded) ship tasks
+// into that path and strand them for extra coordinator ticks; the
+// campus-BQP policy prices hops and keeps every transfer on the clean
+// one-hop links. Homeward rebalancing is on: when a killed unit
+// recovers, its tasks migrate back.
+func buildRefineryRingScenario(spec RunSpec) (*Experiment, error) {
+	policy, err := NewPlacementPolicy(spec.Policy)
+	if err != nil {
+		return nil, err
+	}
+	cfg := CampusConfig{
+		Seed:      spec.Seed,
+		Placement: policy,
+		Rebalance: HomewardRebalance{},
+		Backbone: BackboneConfig{
+			RetryAfter: 150 * time.Millisecond,
+			MaxRetries: 2,
+		},
+		Links: []BackboneLink{
+			{A: "unit-a", B: "unit-b"},
+			{A: "unit-b", B: "unit-c", Config: LinkConfig{PER: 0.9}},
+			{A: "unit-c", B: "unit-d", Config: LinkConfig{PER: 0.9}},
+			{A: "unit-d", B: "unit-a"},
+		},
+	}
+	campus, err := NewCampus(cfg, refineryCells()...)
+	if err != nil {
+		return nil, err
+	}
+	return &Experiment{
+		Campus:         campus,
+		Policy:         policy.Name(),
+		DefaultHorizon: 35 * time.Second,
+		Metrics:        campusMetrics(campus),
+		Cleanup:        campus.Stop,
+	}, nil
+}
+
+// RefineryOutagePlan is the policy-experiment fault plan: unit-a dies
+// wholesale at from and recovers at until, driving escalation out over
+// the ring and — on refinery-ring — rebalancing back home.
+func RefineryOutagePlan(from, until time.Duration) FaultPlan {
+	return OutageWindowPlan("outage-unit-a", from, until, RefineryMembers()...)
 }
 
 // buildCampusFailoverScenario is the two-cell outage demo: cell west
@@ -137,6 +207,10 @@ func buildRefineryScenario(spec RunSpec) (*Experiment, error) {
 // every radio in west crashes and the coordinator ships west's loop over
 // the backbone into east, where it resumes actuating.
 func buildCampusFailoverScenario(spec RunSpec) (*Experiment, error) {
+	policy, err := NewPlacementPolicy(spec.Policy)
+	if err != nil {
+		return nil, err
+	}
 	unit := func(name, taskPrefix string) CellSpec {
 		return CellSpec{
 			Name: name,
@@ -171,7 +245,7 @@ func buildCampusFailoverScenario(spec RunSpec) (*Experiment, error) {
 			},
 		}
 	}
-	campus, err := NewCampus(CampusConfig{Seed: spec.Seed},
+	campus, err := NewCampus(CampusConfig{Seed: spec.Seed, Placement: policy},
 		unit("west", "w"), unit("east", "e"))
 	if err != nil {
 		return nil, err
@@ -182,6 +256,7 @@ func buildCampusFailoverScenario(spec RunSpec) (*Experiment, error) {
 	}
 	return &Experiment{
 		Campus:         campus,
+		Policy:         policy.Name(),
 		DefaultHorizon: 30 * time.Second,
 		Metrics:        campusMetrics(campus),
 		Cleanup:        campus.Stop,

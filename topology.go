@@ -81,6 +81,8 @@ type cellSpec struct {
 	per          float64
 	hasPER       bool
 	slotsPerNode int
+	line         bool
+	lineOrder    []NodeID
 }
 
 // CellOption configures NewCellWith.
@@ -124,6 +126,20 @@ func WithSlotsPerNode(k int) CellOption {
 	return func(s *cellSpec) { s.slotsPerNode = k }
 }
 
+// WithLineSchedule replaces the default full-mesh TDMA schedule with a
+// multi-hop line schedule (rtlink.BuildLineSchedule): each node's slots
+// are heard only by its immediate line neighbors, so messages between
+// distant stations must be relayed hop by hop (see
+// Cell.InstallLineRoutes). order gives the station sequence along the
+// line; empty means member order. The cell's slot budget (SlotsPerNode /
+// WithSlotsPerNode) becomes the number of line rounds per frame.
+func WithLineSchedule(order ...NodeID) CellOption {
+	return func(s *cellSpec) {
+		s.line = true
+		s.lineOrder = append([]NodeID(nil), order...)
+	}
+}
+
 func (s *cellSpec) validate() error {
 	if len(s.ids) == 0 {
 		return fmt.Errorf("evm: cell needs at least one node (WithNodes / WithNodeCount)")
@@ -137,6 +153,22 @@ func (s *cellSpec) validate() error {
 	}
 	if s.slotsPerNode < 0 {
 		return fmt.Errorf("evm: %d slots per node", s.slotsPerNode)
+	}
+	if s.line && len(s.lineOrder) > 0 {
+		if len(s.lineOrder) != len(s.ids) {
+			return fmt.Errorf("evm: line order names %d nodes, cell has %d", len(s.lineOrder), len(s.ids))
+		}
+		member := make(map[NodeID]bool, len(s.ids))
+		for _, id := range s.ids {
+			member[id] = true
+		}
+		seen := make(map[NodeID]bool, len(s.lineOrder))
+		for _, id := range s.lineOrder {
+			if !member[id] || seen[id] {
+				return fmt.Errorf("evm: line order must be a permutation of the cell members")
+			}
+			seen[id] = true
+		}
 	}
 	return nil
 }
