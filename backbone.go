@@ -2,6 +2,7 @@ package evm
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 	"time"
@@ -119,6 +120,9 @@ type Backbone struct {
 
 	// explicit per-link topology; nil until the first AddLink.
 	links map[int]map[int]LinkConfig
+	// down marks severed links (kept symmetric); a downed link is removed
+	// from the route table and drops frames still in flight on it.
+	down map[int]map[int]bool
 	// next[from][to] is the cached next-hop matrix (-1 = unreachable);
 	// nil when stale.
 	next [][]int
@@ -154,16 +158,9 @@ func (b *Backbone) cellIndex(name string) (int, bool) {
 // and transfers route across them hop by hop. Zero LinkConfig fields
 // inherit the backbone defaults; call before the campus runs.
 func (b *Backbone) AddLink(a, c string, cfg LinkConfig) error {
-	ai, ok := b.cellIndex(a)
-	if !ok {
-		return fmt.Errorf("evm: backbone link names unknown cell %q", a)
-	}
-	ci, ok := b.cellIndex(c)
-	if !ok {
-		return fmt.Errorf("evm: backbone link names unknown cell %q", c)
-	}
-	if ai == ci {
-		return fmt.Errorf("evm: backbone link from cell %q to itself", a)
+	ai, ci, err := b.resolveLink(a, c)
+	if err != nil {
+		return err
 	}
 	if cfg.PER < 0 || cfg.PER >= 1 {
 		return fmt.Errorf("evm: backbone link %s-%s PER %g outside [0,1)", a, c, cfg.PER)
@@ -189,6 +186,123 @@ func (b *Backbone) AddLink(a, c string, cfg LinkConfig) error {
 	return nil
 }
 
+// materializeMesh converts the implicit full mesh into the equivalent
+// explicit topology (every cell pair one mesh link apart), so link-level
+// dynamics can sever individual mesh links and BFS reroutes the rest.
+func (b *Backbone) materializeMesh() {
+	b.links = make(map[int]map[int]LinkConfig, len(b.names))
+	for i := range b.names {
+		b.links[i] = make(map[int]LinkConfig, len(b.names)-1)
+		for j := range b.names {
+			if i != j {
+				b.links[i][j] = b.meshLink()
+			}
+		}
+	}
+	b.next = nil
+}
+
+// resolveLink validates a named cell pair and returns its indices.
+func (b *Backbone) resolveLink(a, c string) (int, int, error) {
+	ai, ok := b.cellIndex(a)
+	if !ok {
+		return 0, 0, fmt.Errorf("evm: backbone link names unknown cell %q", a)
+	}
+	ci, ok := b.cellIndex(c)
+	if !ok {
+		return 0, 0, fmt.Errorf("evm: backbone link names unknown cell %q", c)
+	}
+	if ai == ci {
+		return 0, 0, fmt.Errorf("evm: backbone link from cell %q to itself", a)
+	}
+	return ai, ci, nil
+}
+
+// SetLinkDown severs the link between two named cells: the link leaves
+// the BFS route table (routes recompute deterministically on the next
+// transfer), frames still in flight on it drop on arrival, and a
+// BackboneLinkEvent records the change. Severing a link of the implicit
+// full mesh first materializes the mesh into the equivalent explicit
+// topology, so the remaining mesh links keep forwarding multi-hop.
+func (b *Backbone) SetLinkDown(a, c string) error {
+	ai, ci, err := b.resolveLink(a, c)
+	if err != nil {
+		return err
+	}
+	if b.links == nil {
+		b.materializeMesh()
+	}
+	if _, ok := b.links[ai][ci]; !ok {
+		return fmt.Errorf("evm: no backbone link %s-%s to sever", a, c)
+	}
+	if b.down[ai][ci] {
+		return nil // already down
+	}
+	if b.down == nil {
+		b.down = make(map[int]map[int]bool)
+	}
+	for _, pair := range [][2]int{{ai, ci}, {ci, ai}} {
+		m := b.down[pair[0]]
+		if m == nil {
+			m = make(map[int]bool)
+			b.down[pair[0]] = m
+		}
+		m[pair[1]] = true
+	}
+	b.next = nil // invalidate routes
+	b.bus.publish(BackboneLinkEvent{At: b.eng.Now(), A: b.names[ai], B: b.names[ci], Up: false})
+	return nil
+}
+
+// SetLinkUp restores a previously severed link and publishes the
+// matching BackboneLinkEvent. Restoring a live link is a no-op.
+func (b *Backbone) SetLinkUp(a, c string) error {
+	ai, ci, err := b.resolveLink(a, c)
+	if err != nil {
+		return err
+	}
+	if b.links == nil {
+		return nil // implicit mesh: nothing was ever severed
+	}
+	if _, ok := b.links[ai][ci]; !ok {
+		return fmt.Errorf("evm: no backbone link %s-%s to restore", a, c)
+	}
+	if !b.down[ai][ci] {
+		return nil
+	}
+	delete(b.down[ai], ci)
+	delete(b.down[ci], ai)
+	b.next = nil
+	b.bus.publish(BackboneLinkEvent{At: b.eng.Now(), A: b.names[ai], B: b.names[ci], Up: true})
+	return nil
+}
+
+// LinkDown reports whether the link between two named cells is severed.
+func (b *Backbone) LinkDown(a, c string) bool {
+	ai, ok := b.cellIndex(a)
+	if !ok {
+		return false
+	}
+	ci, ok := b.cellIndex(c)
+	if !ok {
+		return false
+	}
+	return b.down[ai][ci]
+}
+
+// linkDown reports whether a directed cell-index pair is severed.
+func (b *Backbone) linkDown(from, to int) bool { return b.down[from][to] }
+
+// hasLink reports whether a cell-index pair is linked in the current
+// topology, severed or not (every pair is linked on the implicit mesh).
+func (b *Backbone) hasLink(ai, ci int) bool {
+	if b.links == nil {
+		return true
+	}
+	_, ok := b.links[ai][ci]
+	return ok
+}
+
 // meshLink is the implicit full-mesh link configuration.
 func (b *Backbone) meshLink() LinkConfig {
 	return LinkConfig{Latency: b.cfg.Latency, BandwidthBPS: b.cfg.BandwidthBPS, PER: b.cfg.PER}
@@ -202,11 +316,14 @@ func (b *Backbone) linkConfig(from, to int) LinkConfig {
 	return b.links[from][to]
 }
 
-// neighbors returns a cell's explicit neighbors in ascending order.
+// neighbors returns a cell's live explicit neighbors in ascending order
+// (severed links are not neighbors).
 func (b *Backbone) neighbors(of int) []int {
 	out := make([]int, 0, len(b.links[of]))
 	for n := range b.links[of] {
-		out = append(out, n)
+		if !b.linkDown(of, n) {
+			out = append(out, n)
+		}
 	}
 	sort.Ints(out)
 	return out
@@ -308,18 +425,14 @@ func (b *Backbone) transferTime(link LinkConfig, bytes int) time.Duration {
 // shortest backbone route. onDeliver runs when the transfer arrives;
 // onFail runs if no route exists or every retransmission is lost (both
 // may be nil). Every transfer publishes a BackboneRouteEvent with the
-// chosen path, and every attempt, delivery and loss publishes a
-// BackboneEvent on the campus bus.
+// chosen path; a retransmission that finds the route table changed (a
+// link severed or restored mid-transfer) publishes a fresh
+// BackboneRouteEvent marked Reroute. Every attempt, delivery and loss
+// publishes a BackboneEvent on the campus bus.
 func (b *Backbone) Send(from, to int, payload []byte, onDeliver func([]byte), onFail func()) {
 	path := b.Route(from, to)
 	if path == nil {
-		b.stats.Failed++
-		b.bus.publish(BackboneEvent{
-			At: b.eng.Now(), From: b.names[from], To: b.names[to], Kind: BackboneFail, Bytes: len(payload),
-		})
-		if onFail != nil {
-			onFail()
-		}
+		b.fail(from, to, len(payload), onFail)
 		return
 	}
 	b.bus.publish(BackboneRouteEvent{
@@ -327,6 +440,17 @@ func (b *Backbone) Send(from, to int, payload []byte, onDeliver func([]byte), on
 		Path: b.pathNames(path), Bytes: len(payload),
 	})
 	b.attempt(path, payload, 0, onDeliver, onFail)
+}
+
+// fail records a terminally failed transfer.
+func (b *Backbone) fail(from, to, bytes int, onFail func()) {
+	b.stats.Failed++
+	b.bus.publish(BackboneEvent{
+		At: b.eng.Now(), From: b.names[from], To: b.names[to], Kind: BackboneFail, Bytes: bytes,
+	})
+	if onFail != nil {
+		onFail()
+	}
 }
 
 // attempt starts one end-to-end transmission along the route.
@@ -339,13 +463,44 @@ func (b *Backbone) attempt(path []int, payload []byte, try int, onDeliver func([
 	b.hop(path, 0, payload, try, onDeliver, onFail)
 }
 
-// hop traverses one link of the route: pay the link's delay, draw its
-// loss, then forward or deliver.
+// retry schedules the next end-to-end retransmission after a loss. The
+// route is re-resolved at retransmit time, so a transfer whose link was
+// severed mid-flight reroutes around it (or fails if the destination is
+// partitioned off); a changed path is recorded as a Reroute event.
+func (b *Backbone) retry(prev []int, payload []byte, try int, onDeliver func([]byte), onFail func()) {
+	from, to := prev[0], prev[len(prev)-1]
+	if try+1 > b.cfg.MaxRetries {
+		b.fail(from, to, len(payload), onFail)
+		return
+	}
+	b.eng.After(b.cfg.RetryAfter, func() {
+		path := b.Route(from, to)
+		if path == nil {
+			b.fail(from, to, len(payload), onFail)
+			return
+		}
+		if !slices.Equal(path, prev) {
+			b.bus.publish(BackboneRouteEvent{
+				At: b.eng.Now(), From: b.names[from], To: b.names[to],
+				Path: b.pathNames(path), Bytes: len(payload), Reroute: true,
+			})
+		}
+		b.attempt(path, payload, try+1, onDeliver, onFail)
+	})
+}
+
+// hop traverses one link of the route: pay the link's delay, then drop
+// the frame if the link was severed while it was in flight, draw the
+// link's loss, and forward or deliver.
 func (b *Backbone) hop(path []int, i int, payload []byte, try int, onDeliver func([]byte), onFail func()) {
 	from, to := path[0], path[len(path)-1]
 	link := b.linkConfig(path[i], path[i+1])
 	b.eng.After(b.transferTime(link, len(payload)), func() {
-		if link.PER > 0 && b.rng.Bool(link.PER) {
+		lost := b.linkDown(path[i], path[i+1])
+		if !lost && link.PER > 0 && b.rng.Bool(link.PER) {
+			lost = true
+		}
+		if lost {
 			b.stats.Dropped++
 			via := ""
 			if path[i] != from {
@@ -355,19 +510,7 @@ func (b *Backbone) hop(path []int, i int, payload []byte, try int, onDeliver fun
 				At: b.eng.Now(), From: b.names[from], To: b.names[to], Kind: BackboneDrop,
 				Bytes: len(payload), Via: via,
 			})
-			if try+1 > b.cfg.MaxRetries {
-				b.stats.Failed++
-				b.bus.publish(BackboneEvent{
-					At: b.eng.Now(), From: b.names[from], To: b.names[to], Kind: BackboneFail, Bytes: len(payload),
-				})
-				if onFail != nil {
-					onFail()
-				}
-				return
-			}
-			b.eng.After(b.cfg.RetryAfter, func() {
-				b.attempt(path, payload, try+1, onDeliver, onFail)
-			})
+			b.retry(path, payload, try, onDeliver, onFail)
 			return
 		}
 		if i+1 < len(path)-1 {
@@ -422,13 +565,16 @@ func (e BackboneEvent) String() string {
 }
 
 // BackboneRouteEvent fires once per backbone transfer with the route the
-// transfer will follow (inclusive of both endpoint cells).
+// transfer will follow (inclusive of both endpoint cells), and again —
+// marked Reroute — whenever a retransmission of the same transfer picks
+// a different path because the link set changed mid-flight.
 type BackboneRouteEvent struct {
-	At    time.Duration
-	From  string
-	To    string
-	Path  []string
-	Bytes int
+	At      time.Duration
+	From    string
+	To      string
+	Path    []string
+	Bytes   int
+	Reroute bool
 }
 
 // When implements Event.
@@ -436,6 +582,32 @@ func (e BackboneRouteEvent) When() time.Duration { return e.At }
 
 // String implements Event.
 func (e BackboneRouteEvent) String() string {
-	return fmt.Sprintf("%v backbone-route from=%s to=%s path=%s bytes=%d",
-		e.At, e.From, e.To, strings.Join(e.Path, ">"), e.Bytes)
+	kind := "backbone-route"
+	if e.Reroute {
+		kind = "backbone-reroute"
+	}
+	return fmt.Sprintf("%v %s from=%s to=%s path=%s bytes=%d",
+		e.At, kind, e.From, e.To, strings.Join(e.Path, ">"), e.Bytes)
+}
+
+// BackboneLinkEvent fires when a backbone link is severed or restored by
+// link-level fault dynamics (FaultStep.LinkDown / FaultStep.LinkUp).
+type BackboneLinkEvent struct {
+	At time.Duration
+	A  string
+	B  string
+	// Up is false when the link went down, true when it came back.
+	Up bool
+}
+
+// When implements Event.
+func (e BackboneLinkEvent) When() time.Duration { return e.At }
+
+// String implements Event.
+func (e BackboneLinkEvent) String() string {
+	state := "down"
+	if e.Up {
+		state = "up"
+	}
+	return fmt.Sprintf("%v backbone-link a=%s b=%s state=%s", e.At, e.A, e.B, state)
 }

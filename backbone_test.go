@@ -1,0 +1,264 @@
+package evm
+
+import (
+	"testing"
+	"time"
+)
+
+// smallUnit declares a 6-node cell (gateway 1, head 2, loop candidates
+// 3/4, spares 5/6) with one synthetic-feed control loop — the minimal
+// federation building block for backbone and handshake tests.
+func smallUnit(name, prefix string) CellSpec {
+	return CellSpec{
+		Name:    name,
+		Options: []CellOption{WithNodeCount(6), WithSlotsPerNode(3), WithPER(0)},
+		VC: VCConfig{
+			Name: name, Head: 2, Gateway: 1,
+			Tasks: []TaskSpec{{
+				ID: prefix + "-loop", SensorPort: 0, ActuatorPort: 10,
+				Period: 250 * time.Millisecond, WCET: 5 * time.Millisecond,
+				Candidates:   []NodeID{3, 4},
+				DeviationTol: 5, DeviationWindow: 4, SilenceWindow: 8,
+				MakeLogic: campusPID,
+			}},
+			DormantAfter: 5 * time.Second,
+		},
+		Feed: &FeedSpec{Source: 1, Period: 250 * time.Millisecond,
+			Sample: func() []SensorReading { return []SensorReading{{Port: 0, Value: 50}} }},
+	}
+}
+
+// ringCampus builds a 4-cell ring a-b-c-d-a out of smallUnits.
+func ringCampus(t *testing.T, cfg CampusConfig) *Campus {
+	t.Helper()
+	cfg.Links = []BackboneLink{
+		{A: "a", B: "b"}, {A: "b", B: "c"}, {A: "c", B: "d"}, {A: "d", B: "a"},
+	}
+	campus, err := NewCampus(cfg,
+		smallUnit("a", "a"), smallUnit("b", "b"), smallUnit("c", "c"), smallUnit("d", "d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return campus
+}
+
+// pathString renders a cell-index route through the campus names.
+func pathString(c *Campus, path []int) string {
+	s := ""
+	for i, idx := range path {
+		if i > 0 {
+			s += ">"
+		}
+		s += c.Cells()[idx].Name()
+	}
+	return s
+}
+
+// TestSeveredRingRoutesTheLongWay: severing one ring link forces the
+// affected pair onto the three-hop path; restoring it brings the direct
+// route back; severing both links of a cell partitions it (no route).
+func TestSeveredRingRoutesTheLongWay(t *testing.T) {
+	campus := ringCampus(t, CampusConfig{Seed: 1})
+	defer campus.Stop()
+	bb := campus.Backbone()
+	if got := pathString(campus, bb.Route(3, 0)); got != "d>a" {
+		t.Fatalf("intact ring route d->a = %s", got)
+	}
+	if err := bb.SetLinkDown("d", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if !bb.LinkDown("a", "d") {
+		t.Fatal("severed link not reported down (order-insensitive)")
+	}
+	if got := pathString(campus, bb.Route(3, 0)); got != "d>c>b>a" {
+		t.Fatalf("severed ring route d->a = %s, want the long way round", got)
+	}
+	if hops := bb.Hops(3, 0); hops != 3 {
+		t.Fatalf("severed ring hops d->a = %d", hops)
+	}
+	if err := bb.SetLinkUp("d", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := pathString(campus, bb.Route(3, 0)); got != "d>a" {
+		t.Fatalf("restored ring route d->a = %s", got)
+	}
+	// Partition c entirely: both its links down -> no route, ever.
+	if err := bb.SetLinkDown("b", "c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := bb.SetLinkDown("c", "d"); err != nil {
+		t.Fatal(err)
+	}
+	if r := bb.Route(0, 2); r != nil {
+		t.Fatalf("partitioned cell still routable: %v", r)
+	}
+	if hops := bb.Hops(0, 2); hops != -1 {
+		t.Fatalf("partitioned hops = %d, want -1", hops)
+	}
+}
+
+// TestMeshMaterializesOnSever: severing a link of the implicit full mesh
+// materializes the mesh, and the severed pair reroutes through the
+// lowest-index surviving peer instead of failing.
+func TestMeshMaterializesOnSever(t *testing.T) {
+	campus, err := NewCampus(CampusConfig{Seed: 1},
+		smallUnit("a", "a"), smallUnit("b", "b"), smallUnit("c", "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer campus.Stop()
+	bb := campus.Backbone()
+	if !bb.Mesh() {
+		t.Fatal("campus without explicit links should start as a mesh")
+	}
+	if err := bb.SetLinkDown("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if bb.Mesh() {
+		t.Fatal("sever did not materialize the mesh")
+	}
+	if got := pathString(campus, bb.Route(0, 1)); got != "a>c>b" {
+		t.Fatalf("severed mesh route a->b = %s", got)
+	}
+	if err := bb.SetLinkUp("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if got := pathString(campus, bb.Route(0, 1)); got != "a>b" {
+		t.Fatalf("restored mesh route a->b = %s", got)
+	}
+}
+
+// TestInFlightFrameDropsOnSeverThenReroutes: a transfer already in the
+// air when its link is severed drops on arrival, and the retransmission
+// re-resolves the route around the outage (publishing a Reroute event).
+func TestInFlightFrameDropsOnSeverThenReroutes(t *testing.T) {
+	cfg := CampusConfig{Seed: 1, Backbone: BackboneConfig{
+		Latency: time.Second, RetryAfter: 100 * time.Millisecond,
+	}}
+	campus := ringCampus(t, cfg)
+	defer campus.Stop()
+	log := campus.Events().Log()
+	bb := campus.Backbone()
+	delivered, failed := 0, 0
+	bb.Send(3, 0, []byte("payload"), func([]byte) { delivered++ }, func() { failed++ })
+	campus.Engine().After(500*time.Millisecond, func() { _ = bb.SetLinkDown("d", "a") })
+	campus.Run(10 * time.Second)
+	if delivered != 1 || failed != 0 {
+		t.Fatalf("delivered=%d failed=%d, want the transfer to survive the sever", delivered, failed)
+	}
+	st := bb.Stats()
+	if st.Dropped < 1 {
+		t.Fatalf("stats = %+v, want the in-flight frame dropped", st)
+	}
+	reroutes := 0
+	for _, ev := range log.Events() {
+		if re, ok := ev.(BackboneRouteEvent); ok && re.Reroute {
+			reroutes++
+			if len(re.Path) != 4 {
+				t.Fatalf("reroute path = %v, want the long way round", re.Path)
+			}
+		}
+	}
+	if reroutes != 1 {
+		t.Fatalf("reroute events = %d, want 1", reroutes)
+	}
+	if vs := CheckEvents(log.Events(), NewRouteMonotonicityInvariant()); len(vs) != 0 {
+		t.Fatalf("route monotonicity violated: %v", vs)
+	}
+}
+
+// TestLinkFaultValidation: cell-level plans reject link steps, campus
+// plans reject unknown cells, and sever/restore of unknown links error.
+func TestLinkFaultValidation(t *testing.T) {
+	campus, err := NewCampus(CampusConfig{Seed: 1}, smallUnit("n", "n"), smallUnit("s", "s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer campus.Stop()
+	step := FaultStep{At: time.Second, LinkDown: &LinkRef{A: "n", B: "s"}}
+	if err := campus.Cells()[0].ApplyFaultPlan(FaultPlan{Steps: []FaultStep{step}}); err == nil {
+		t.Fatal("cell accepted a backbone link fault step")
+	}
+	bad := FaultStep{At: time.Second, LinkDown: &LinkRef{A: "n", B: "nope"}}
+	if err := campus.ApplyFaultPlan("", FaultPlan{Steps: []FaultStep{bad}}); err == nil {
+		t.Fatal("campus accepted a link step naming an unknown cell")
+	}
+	if err := campus.ApplyFaultPlan("", FaultPlan{Steps: []FaultStep{step}}); err != nil {
+		t.Fatal(err)
+	}
+	ring := ringCampus(t, CampusConfig{Seed: 1})
+	defer ring.Stop()
+	if err := ring.Backbone().SetLinkDown("a", "c"); err == nil {
+		t.Fatal("severed a ring link that does not exist")
+	}
+	if err := ring.Backbone().SetLinkUp("a", "c"); err == nil {
+		t.Fatal("restored a ring link that does not exist")
+	}
+	ghost := FaultStep{At: time.Second, LinkDown: &LinkRef{A: "a", B: "c"}}
+	if err := ring.ApplyFaultPlan("", FaultPlan{Steps: []FaultStep{ghost}}); err == nil {
+		t.Fatal("campus accepted a plan severing a link absent from the explicit topology")
+	}
+}
+
+// TestPartitionedCellFailsOverLocallyThenEscalatesWhenRejoined: with its
+// only backbone link severed, a cell resolves a primary crash by
+// ordinary in-cell fail-over; once local candidates are exhausted the
+// coordinator keeps reporting the overload but cannot migrate — until
+// the link is restored, when the deferred escalation completes.
+func TestPartitionedCellFailsOverLocallyThenEscalatesWhenRejoined(t *testing.T) {
+	campus, err := NewCampus(CampusConfig{
+		Seed:  1,
+		Links: []BackboneLink{{A: "n", B: "s"}},
+	}, smallUnit("n", "n"), smallUnit("s", "s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer campus.Stop()
+	log := campus.Events().Log()
+	plan := FaultPlan{Name: "partition-then-kill", Steps: []FaultStep{
+		{At: 2 * time.Second, LinkDown: &LinkRef{A: "n", B: "s"}},
+		{At: 5 * time.Second, CrashNode: 3},
+		{At: 12 * time.Second, CrashNode: 4},
+		{At: 20 * time.Second, LinkUp: &LinkRef{A: "n", B: "s"}},
+	}}
+	if err := campus.ApplyFaultPlan("n", plan); err != nil {
+		t.Fatal(err)
+	}
+	campus.Run(30 * time.Second)
+
+	var localFailoverAt, migratedAt time.Duration
+	overloads := 0
+	for _, ev := range log.Events() {
+		switch e := ev.(type) {
+		case CellEvent:
+			if fo, ok := e.Inner.(FailoverEvent); ok && e.Cell == "n" && fo.Task == "n-loop" && localFailoverAt == 0 {
+				localFailoverAt = fo.At
+			}
+		case CellOverloadEvent:
+			overloads++
+		case InterCellMigrationEvent:
+			if migratedAt == 0 {
+				migratedAt = e.At
+			}
+		}
+	}
+	if localFailoverAt == 0 || localFailoverAt > 12*time.Second {
+		t.Fatalf("partitioned cell did not fail over locally (failover at %v)", localFailoverAt)
+	}
+	if overloads == 0 {
+		t.Fatal("candidate exhaustion under partition raised no overload")
+	}
+	if migratedAt == 0 {
+		t.Fatal("escalation never completed after the partition healed")
+	}
+	if migratedAt < 20*time.Second {
+		t.Fatalf("task escaped the partition at %v, before the link was restored", migratedAt)
+	}
+	p := campus.TaskPlacements()["n/n-loop"]
+	if !p.Foreign || p.Cell != "s" {
+		t.Fatalf("placement = %+v, want foreign in s after the partition healed", p)
+	}
+	if vs := CheckEvents(log.Events(), DefaultInvariants()...); len(vs) != 0 {
+		t.Fatalf("invariants violated: %v", vs)
+	}
+}

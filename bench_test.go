@@ -647,3 +647,44 @@ func BenchmarkPIDLogicStep(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkRingSeverRecovery measures the link-dynamics acceptance
+// workload end to end: outage, mid-outage ring sever, handshake
+// rebalance the long way round — reporting the reroute volume and
+// confirming zero invariant violations per run.
+func BenchmarkRingSeverRecovery(b *testing.B) {
+	var reroutes, rebalances float64
+	for i := 0; i < b.N; i++ {
+		res := (&Runner{Workers: 1}).Run([]RunSpec{{
+			Scenario: ScenarioRefineryRingSever, Seed: uint64(i + 1), Horizon: 40 * time.Second,
+		}})
+		if res[0].Err != nil {
+			b.Fatal(res[0].Err)
+		}
+		reroutes += res[0].Metrics[MetricBackboneReroutes]
+		rebalances += res[0].Metrics[MetricRebalances]
+	}
+	b.ReportMetric(reroutes/float64(b.N), "reroutes")
+	b.ReportMetric(rebalances/float64(b.N), "rebalances")
+}
+
+// BenchmarkInvariantChecking measures the replay cost of the built-in
+// checkers over a full sever-scenario stream (events/op is the stream
+// length).
+func BenchmarkInvariantChecking(b *testing.B) {
+	exp, err := BuildScenario(RunSpec{Scenario: ScenarioRefineryRingSever, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	log := exp.Campus.Events().Log()
+	exp.Campus.Run(40 * time.Second)
+	events := log.Events()
+	exp.Cleanup()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if vs := CheckEvents(events, DefaultInvariants()...); len(vs) != 0 {
+			b.Fatalf("invariants violated: %v", vs)
+		}
+	}
+	b.ReportMetric(float64(len(events)), "events")
+}

@@ -6,10 +6,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"time"
@@ -25,16 +27,23 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (e1..e10, fed, policy, pipe, grid or all)")
+	exp := flag.String("exp", "all", "experiment to run (e1..e10, fed, policy, pipe, sever, grid or all)")
+	trend := flag.String("trend", "", "directory holding BENCH_pr*.json artifacts; print the cross-PR benchmark trend table and exit")
 	flag.StringVar(&eventDir, "events", "", "directory for per-run event CSVs from the grid sweep (empty = off)")
 	flag.Parse()
+	if *trend != "" {
+		if err := trendTable(*trend); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	experiments := map[string]func() error{
 		"e1": e1Fig6, "e2": e2Failover, "e3": e3MACLifetime, "e4": e4SyncJitter,
 		"e5": e5ControlCycle, "e6": e6Migration, "e7": e7BQP, "e8": e8Degradation,
 		"e9": e9Admission, "e10": e10Attestation, "fed": fedCampus,
-		"policy": policyCompare, "pipe": pipeLine, "grid": gridSweep,
+		"policy": policyCompare, "pipe": pipeLine, "sever": severDemo, "grid": gridSweep,
 	}
-	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "fed", "policy", "pipe", "grid"}
+	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "fed", "policy", "pipe", "sever", "grid"}
 	if *exp != "all" {
 		fn, ok := experiments[*exp]
 		if !ok {
@@ -608,6 +617,120 @@ func pipeLine() error {
 	return nil
 }
 
+// severDemo runs the link-dynamics acceptance scenario: the refinery
+// ring loses unit-a at 10s and its d-a link at 12s; the recovered
+// unit-a takes its loops back through the prepare/commit handshake, with
+// unit-d's traffic forced the long way round. The invariant harness
+// replays the stream and must find nothing.
+func severDemo() error {
+	header("SEVER", "ring sever + prepare/commit rebalance (outage 10s-22s, d-a link down 12s-30s)")
+	exp, err := evm.BuildScenario(evm.RunSpec{Scenario: evm.ScenarioRefineryRingSever, Seed: 1})
+	if err != nil {
+		return err
+	}
+	defer exp.Cleanup()
+	log2 := exp.Campus.Events().Log()
+	exp.Campus.Run(40 * time.Second)
+	rebalances, longWay := 0, 0
+	var firstLong []string
+	for _, ev := range log2.Events() {
+		switch e := ev.(type) {
+		case evm.InterCellMigrationEvent:
+			if e.Rebalance {
+				rebalances++
+			}
+		case evm.BackboneRouteEvent:
+			if len(e.Path) == 4 {
+				longWay++
+				if firstLong == nil {
+					firstLong = e.Path
+				}
+			}
+		}
+	}
+	violations := evm.CheckEvents(log2.Events(), evm.DefaultInvariants()...)
+	bb := exp.Campus.Backbone().Stats()
+	fmt.Printf("  rebalanced home            %5d loops (prepare/commit handshake)\n", rebalances)
+	fmt.Printf("  long-way transfers         %5d (e.g. %v)\n", longWay, firstLong)
+	fmt.Printf("  backbone sent/delivered    %5d/%d (dropped %d)\n", bb.Sent, bb.Delivered, bb.Dropped)
+	fmt.Printf("  invariant violations       %5d (single-master, demoted-silence, route-monotonicity)\n",
+		len(violations))
+	for _, v := range violations {
+		fmt.Printf("    %s\n", v)
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("sever: %d invariant violations", len(violations))
+	}
+	return nil
+}
+
+// trendTable reads every BENCH_pr*.json artifact in dir and prints one
+// row per benchmark with its ns/op across PRs — the cross-PR performance
+// trend (CI emits one artifact per PR; collect them into a directory and
+// run `evmbench -trend <dir>`).
+func trendTable(dir string) error {
+	files, err := filepath.Glob(filepath.Join(dir, "BENCH_pr*.json"))
+	if err != nil {
+		return err
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("no BENCH_pr*.json artifacts in %s", dir)
+	}
+	type artifact struct {
+		PR         int `json:"pr"`
+		Benchmarks []struct {
+			Name    string  `json:"name"`
+			NsPerOp float64 `json:"ns_per_op"`
+		} `json:"benchmarks"`
+	}
+	perPR := make(map[int]map[string]float64)
+	names := make(map[string]bool)
+	var prs []int
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		var a artifact
+		if err := json.Unmarshal(data, &a); err != nil {
+			return fmt.Errorf("%s: %w", f, err)
+		}
+		if _, dup := perPR[a.PR]; dup {
+			return fmt.Errorf("duplicate artifact for PR %d", a.PR)
+		}
+		rows := make(map[string]float64, len(a.Benchmarks))
+		for _, bm := range a.Benchmarks {
+			rows[bm.Name] = bm.NsPerOp
+			names[bm.Name] = true
+		}
+		perPR[a.PR] = rows
+		prs = append(prs, a.PR)
+	}
+	sort.Ints(prs)
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	fmt.Printf("%-40s", "benchmark (ms/op)")
+	for _, pr := range prs {
+		fmt.Printf("  %10s", fmt.Sprintf("pr%d", pr))
+	}
+	fmt.Println()
+	for _, name := range sorted {
+		fmt.Printf("%-40s", name)
+		for _, pr := range prs {
+			if ns, ok := perPR[pr][name]; ok {
+				fmt.Printf("  %10.3f", ns/1e6)
+			} else {
+				fmt.Printf("  %10s", "-")
+			}
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
 // gridSweep exercises the scenario registry and the parallel Runner: a
 // scenario x seed x fault-plan grid fans out across worker goroutines and
 // the per-run metrics are aggregated per scenario (the ROADMAP's
@@ -627,7 +750,7 @@ func gridSweep() error {
 	scenarios := []string{
 		evm.ScenarioGasPlant, evm.ScenarioEightController, evm.ScenarioCapacity,
 		evm.ScenarioCampusFailover, evm.ScenarioRefinery, evm.ScenarioRefineryRing,
-		evm.ScenarioPipeline,
+		evm.ScenarioRefineryRingSever, evm.ScenarioPipeline, evm.ScenarioRandomField,
 	}
 	specs := evm.SpecGrid(scenarios,
 		[]uint64{1, 2, 3, 4},

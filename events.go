@@ -290,6 +290,8 @@ func eventSeriesName(ev Event) string {
 		return "backbone_transfers"
 	case BackboneRouteEvent:
 		return "backbone_routes"
+	case BackboneLinkEvent:
+		return "backbone_links"
 	default:
 		return "other"
 	}

@@ -48,10 +48,17 @@ type ClockDrift struct {
 	PPM  float64
 }
 
+// LinkRef names one backbone link by its cell pair (order irrelevant).
+type LinkRef struct {
+	A, B string
+}
+
 // FaultStep is one timed entry of a FaultPlan. At is relative to the
 // moment the plan is applied. Any combination of the action fields may be
 // set; they execute in declaration order and each emits a FaultEvent on
-// the cell's event bus.
+// the cell's event bus. LinkDown/LinkUp are campus-level actions: they
+// target the federation backbone rather than a cell, so plans containing
+// them must be applied through Campus.ApplyFaultPlan.
 type FaultStep struct {
 	At time.Duration
 	// CrashNode fails the node's radio (silent crash). Zero = no crash.
@@ -68,7 +75,25 @@ type FaultStep struct {
 	BatteryDrain *BatteryDrain
 	// ClockDrift sets a node's oscillator drift.
 	ClockDrift *ClockDrift
+	// LinkDown severs the backbone link between two named cells; the
+	// backbone reroutes remaining traffic and drops in-flight frames
+	// (campus plans only).
+	LinkDown *LinkRef
+	// LinkUp restores a previously severed backbone link (campus plans
+	// only).
+	LinkUp *LinkRef
 }
+
+// cellActions reports whether the step carries any cell-level action
+// (everything but the campus-level link fields).
+func (st FaultStep) cellActions() bool {
+	return st.CrashNode != 0 || st.RecoverNode != 0 || st.ComputeFault != nil ||
+		st.ClearCompute != nil || st.PERBurst != nil || st.BatteryDrain != nil ||
+		st.ClockDrift != nil
+}
+
+// linkActions reports whether the step carries a backbone link action.
+func (st FaultStep) linkActions() bool { return st.LinkDown != nil || st.LinkUp != nil }
 
 // FaultPlan is a declarative fault-injection schedule applied to a cell.
 // Plans are plain data: they can be stored, swept in experiment grids and
@@ -130,6 +155,9 @@ func (p FaultPlan) validate(c *Cell) error {
 		}
 		if cd := st.ClockDrift; cd != nil && c.med.Radio(cd.Node) == nil {
 			return fmt.Errorf("evm: fault step %d drifts unknown node %v", i, cd.Node)
+		}
+		if st.linkActions() {
+			return fmt.Errorf("evm: fault step %d targets a backbone link; apply the plan through Campus.ApplyFaultPlan", i)
 		}
 	}
 	return nil

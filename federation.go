@@ -50,15 +50,19 @@ type CampusConfig struct {
 	// the backbone (nil = LeastLoadedPolicy, the pre-policy behavior).
 	Placement PlacementPolicy
 	// Rebalance, when set, migrates foreign tasks home once their origin
-	// cell recovers. Nil keeps tasks where fail-over put them — note
-	// that a recovered cell's stale master then resumes actuating
-	// alongside the foreign copy (split-brain); only the rebalance
-	// path's homecoming promotion demotes it.
+	// cell recovers, via a prepare/commit handshake over the backbone.
+	// Nil keeps tasks where fail-over put them; either way the
+	// coordinator demotes a recovered cell's stale master as soon as its
+	// radios come back, so the foreign copy stays the single master.
 	Rebalance RebalancePolicy
 	// CheckPeriod is the federation coordinator's scan-and-checkpoint
 	// cadence (default 1 s): each tick snapshots every task's state and
 	// escalates fail-over for stranded tasks.
 	CheckPeriod time.Duration
+	// HandshakeTimeout bounds one prepare/commit rebalance exchange
+	// (default 10 x CheckPeriod): if the handshake has not committed by
+	// then it aborts and the foreign master keeps the task.
+	HandshakeTimeout time.Duration
 }
 
 // taskPlacement is the coordinator's view of one control task: where it
@@ -79,6 +83,27 @@ type taskPlacement struct {
 	// adopted for a foreign task (master first), so fail-over stays
 	// local to the cell.
 	localCands []NodeID
+	// hs is the in-flight prepare/commit rebalance handshake (nil when
+	// none). Stale callbacks from an aborted handshake compare against
+	// it and drop themselves.
+	hs *rebalanceHandshake
+}
+
+// rebalanceHandshake tracks one prepare/commit exchange rehoming a
+// foreign task: prepare ships the checkpoint host -> origin and restores
+// it into an inactive home replica; commit travels origin -> host and its
+// delivery retires the foreign master immediately before the home
+// replica activates. Abort (lost leg, relapsed origin, or timeout)
+// keeps the foreign master and discards a freshly imported home replica.
+type rebalanceHandshake struct {
+	// home is the origin-cell node holding the prepared replica.
+	home NodeID
+	// imported marks a freshly imported prepared replica (retired again
+	// on abort); false when the prepare adopted state into a replica the
+	// home node already had.
+	imported bool
+	export   wire.TaskExport
+	deadline *sim.Event
 }
 
 // Campus federates N cells into one schedulable, fault-tolerant system:
@@ -126,6 +151,9 @@ func NewCampus(cfg CampusConfig, specs ...CellSpec) (*Campus, error) {
 	}
 	if cfg.CheckPeriod <= 0 {
 		cfg.CheckPeriod = time.Second
+	}
+	if cfg.HandshakeTimeout <= 0 {
+		cfg.HandshakeTimeout = 10 * cfg.CheckPeriod
 	}
 	cfg.Backbone = cfg.Backbone.withDefaults()
 	if err := cfg.Backbone.validate(); err != nil {
@@ -212,14 +240,14 @@ func NewCampus(cfg CampusConfig, specs ...CellSpec) (*Campus, error) {
 		}
 	}
 	// Track local fail-overs so checkpoints follow the task to its new
-	// master. Adopted foreign tasks are arbitrated by the hosting cell's
-	// head, so any placement currently in the event's cell moves here.
+	// master (adopted foreign tasks are arbitrated by the hosting cell's
+	// head, so any placement currently in the event's cell moves here),
+	// and demote stale origin masters the moment a radio recovers in a
+	// cell whose tasks are hosted elsewhere — waiting for the next
+	// coordinator tick would let the stale master actuate alongside the
+	// foreign copy for up to a full CheckPeriod.
 	c.bus().Subscribe(func(ev Event) {
 		ce, ok := ev.(CellEvent)
-		if !ok {
-			return
-		}
-		fo, ok := ce.Inner.(FailoverEvent)
 		if !ok {
 			return
 		}
@@ -227,12 +255,19 @@ func NewCampus(cfg CampusConfig, specs ...CellSpec) (*Campus, error) {
 		if !ok {
 			return
 		}
-		key, ok := c.taskKeys[fo.Task]
-		if !ok {
-			return
-		}
-		if p := c.placements[key]; p.cell == idx {
-			p.node = fo.To
+		switch inner := ce.Inner.(type) {
+		case FailoverEvent:
+			key, ok := c.taskKeys[inner.Task]
+			if !ok {
+				return
+			}
+			if p := c.placements[key]; p.cell == idx {
+				p.node = inner.To
+			}
+		case FaultEvent:
+			if inner.Kind == FaultRecover {
+				c.demoteStaleMasters(idx)
+			}
 		}
 	})
 	c.ticker = c.eng.Every(cfg.CheckPeriod, c.tick)
@@ -294,8 +329,11 @@ func (c *Campus) Stop() {
 }
 
 // ApplyFaultPlan applies a fault plan to the named cell ("" = the first
-// cell). The plan's events appear on the campus stream tagged with the
-// cell name.
+// cell). The plan's cell-level events appear on the campus stream tagged
+// with the cell name. Steps with LinkDown/LinkUp actions target the
+// federation backbone instead of the cell: the named link is severed or
+// restored at the step's offset (publishing BackboneLinkEvent), routes
+// recompute, and frames in flight on a severed link drop.
 func (c *Campus) ApplyFaultPlan(cell string, p FaultPlan) error {
 	idx := 0
 	if cell != "" {
@@ -305,7 +343,58 @@ func (c *Campus) ApplyFaultPlan(cell string, p FaultPlan) error {
 		}
 		idx = i
 	}
-	return c.cells[idx].ApplyFaultPlan(p)
+	cellPlan := FaultPlan{Name: p.Name}
+	var linkSteps []FaultStep
+	for i, st := range p.Steps {
+		if st.linkActions() {
+			if st.At < 0 {
+				return fmt.Errorf("evm: fault step %d at negative offset %v", i, st.At)
+			}
+			for _, l := range []*LinkRef{st.LinkDown, st.LinkUp} {
+				if l == nil {
+					continue
+				}
+				ai, ci, err := c.backbone.resolveLink(l.A, l.B)
+				if err != nil {
+					return fmt.Errorf("evm: fault step %d: %w", i, err)
+				}
+				// The topology is fixed after NewCampus, so a link absent
+				// now will be absent at fire time too — reject instead of
+				// silently no-opping the sever.
+				if !c.backbone.hasLink(ai, ci) {
+					return fmt.Errorf("evm: fault step %d targets nonexistent backbone link %s-%s", i, l.A, l.B)
+				}
+			}
+			linkSteps = append(linkSteps, st)
+			// A combined step keeps its cell-level actions on the cell.
+			st.LinkDown, st.LinkUp = nil, nil
+		}
+		if st.cellActions() {
+			cellPlan.Steps = append(cellPlan.Steps, st)
+		}
+	}
+	if len(cellPlan.Steps) > 0 {
+		if err := c.cells[idx].ApplyFaultPlan(cellPlan); err != nil {
+			return err
+		}
+	}
+	for _, st := range linkSteps {
+		step := st
+		c.eng.After(step.At, func() { c.runLinkStep(step) })
+	}
+	return nil
+}
+
+// runLinkStep executes the backbone actions of one campus fault step.
+// Severing an already-severed link (or restoring a live one) is a no-op,
+// so overlapping plans compose.
+func (c *Campus) runLinkStep(st FaultStep) {
+	if l := st.LinkDown; l != nil {
+		_ = c.backbone.SetLinkDown(l.A, l.B)
+	}
+	if l := st.LinkUp; l != nil {
+		_ = c.backbone.SetLinkUp(l.A, l.B)
+	}
 }
 
 // TaskPlacement reports where a control task currently runs.
@@ -429,7 +518,9 @@ func (c *Campus) tick() {
 }
 
 // detectRecoveries publishes CellRecoveredEvent on a cell's head-down ->
-// head-up transition.
+// head-up transition and demotes the cell's stale masters — even with a
+// nil RebalancePolicy, so a recovered cell can never run a second master
+// for a task that failed over to a peer.
 func (c *Campus) detectRecoveries() {
 	for i := range c.cells {
 		down := c.headDown(i)
@@ -438,8 +529,32 @@ func (c *Campus) detectRecoveries() {
 		}
 		if !down {
 			c.bus().publish(CellRecoveredEvent{At: c.eng.Now(), Cell: c.cellName(i)})
+			c.demoteStaleMasters(i)
 		}
 		c.cellDown[i] = down
+	}
+}
+
+// demoteStaleMasters retires the origin-cell mastership of every task
+// currently hosted in a peer cell: after an outage the pre-outage master
+// still holds an Active replica and would resume actuating alongside the
+// foreign copy (a permanent split-brain when no RebalancePolicy is
+// configured). Called on every radio recovery in the cell and again on
+// CellRecoveredEvent; RetireMaster no-ops once the mastership is gone.
+func (c *Campus) demoteStaleMasters(origin int) {
+	if c.headDown(origin) {
+		return
+	}
+	hn := c.cells[origin].nodes[c.specs[origin].VC.Head]
+	if hn == nil || hn.Head() == nil {
+		return
+	}
+	for _, key := range c.sortedPlacementKeys() {
+		p := c.placements[key]
+		if p.origin != origin || !p.foreign {
+			continue
+		}
+		hn.Head().RetireMaster(p.spec.ID)
 	}
 }
 
@@ -468,12 +583,23 @@ func (c *Campus) loads() (count []int, util []float64) {
 // cell the task currently occupies (hop distances are measured from it).
 func (c *Campus) cellCondition(i, from, origin int, taskID string, count []int, util []float64) CellCondition {
 	capacity := 0.0
+	var nodes []NodeLoad
+	head := c.specs[i].VC.Head
 	for _, id := range c.cells[i].ids {
-		if c.cells[i].nodes[id] != nil && !c.nodeFailed(i, id) {
-			capacity++
+		n := c.cells[i].nodes[id]
+		if n == nil || c.nodeFailed(i, id) {
+			continue
 		}
+		capacity++
+		nodes = append(nodes, NodeLoad{
+			Node:     id,
+			Replicas: n.ReplicaCount(),
+			Eligible: !n.HasReplica(taskID),
+			Head:     id == head,
+		})
 	}
 	return CellCondition{
+		Nodes:         nodes,
 		Index:         i,
 		Name:          c.cellName(i),
 		Placed:        count[i],
@@ -680,16 +806,143 @@ func (c *Campus) rebalanceTick() {
 		if !c.rebalance.Rehome(req) {
 			continue
 		}
-		payload, err := p.export.Encode()
-		if err != nil {
-			continue
-		}
-		p.migrating = true
-		p.dest = origin
-		c.backbone.Send(p.cell, origin, payload,
-			func(b []byte) { c.deliverHome(key, p, b) },
-			func() { p.migrating = false })
+		c.startRebalance(key, p)
 	}
+}
+
+// startRebalance opens the prepare/commit handshake for one foreign
+// task: the prepare leg carries the latest checkpoint from the hosting
+// cell to the recovered origin. The placement stays migrating (shielded
+// from escalation and re-offers) until the handshake commits or aborts.
+func (c *Campus) startRebalance(key string, p *taskPlacement) {
+	exPayload, err := p.export.Encode()
+	if err != nil {
+		return
+	}
+	prep, err := (wire.RebalanceMsg{
+		Phase: wire.RebalancePrepare, TaskID: p.spec.ID, Export: exPayload,
+	}).Encode()
+	if err != nil {
+		return
+	}
+	hs := &rebalanceHandshake{}
+	p.hs = hs
+	p.migrating = true
+	p.dest = p.origin
+	hs.deadline = c.eng.After(c.cfg.HandshakeTimeout, func() { c.abortRebalance(p, hs) })
+	c.backbone.Send(p.cell, p.origin, prep,
+		func(b []byte) { c.onPrepare(key, p, hs, b) },
+		func() { c.abortRebalance(p, hs) })
+}
+
+// onPrepare lands the prepare leg at the origin cell: restore the
+// shipped checkpoint into an inactive home replica (nothing actuates
+// yet) and send the commit leg back to the hosting cell. Any
+// precondition lost since the handshake opened — origin head down again,
+// no eligible home host, restore failure — aborts, keeping the foreign
+// master.
+func (c *Campus) onPrepare(key string, p *taskPlacement, hs *rebalanceHandshake, payload []byte) {
+	if p.hs != hs {
+		return // aborted while the prepare leg was in flight
+	}
+	msg, err := wire.DecodeRebalanceMsg(payload)
+	if err != nil || msg.Phase != wire.RebalancePrepare {
+		c.abortRebalance(p, hs)
+		return
+	}
+	ex, err := wire.DecodeTaskExport(msg.Export)
+	if err != nil {
+		c.abortRebalance(p, hs)
+		return
+	}
+	origin := p.origin
+	if c.headDown(origin) {
+		c.abortRebalance(p, hs)
+		return
+	}
+	dst := c.homeHost(origin, p.spec)
+	if dst == 0 {
+		c.abortRebalance(p, hs)
+		return
+	}
+	destNode := c.cells[origin].nodes[dst]
+	if destNode.HasReplica(ex.TaskID) {
+		if err := destNode.AdoptState(p.spec, ex); err != nil {
+			c.abortRebalance(p, hs)
+			return
+		}
+	} else if err := destNode.ImportTask(p.spec, ex, false); err != nil {
+		c.abortRebalance(p, hs)
+		return
+	} else {
+		hs.imported = true
+	}
+	hs.home = dst
+	hs.export = ex
+	commit, err := (wire.RebalanceMsg{Phase: wire.RebalanceCommit, TaskID: p.spec.ID}).Encode()
+	if err != nil {
+		c.abortRebalance(p, hs)
+		return
+	}
+	c.backbone.Send(origin, p.cell, commit,
+		func([]byte) { c.onCommit(key, p, hs) },
+		func() { c.abortRebalance(p, hs) })
+}
+
+// onCommit lands the commit leg at the hosting cell — the commit point:
+// the foreign master and its adopted backup retire first, then the
+// prepared home replica is promoted by the origin head, so no instant
+// ever has two masters. If the origin relapsed while the commit leg was
+// in flight the handshake aborts instead and the foreign master stays.
+func (c *Campus) onCommit(key string, p *taskPlacement, hs *rebalanceHandshake) {
+	if p.hs != hs {
+		return
+	}
+	origin := p.origin
+	headNode := c.cells[origin].nodes[c.specs[origin].VC.Head]
+	if headNode == nil || headNode.Head() == nil || c.headDown(origin) {
+		c.abortRebalance(p, hs)
+		return
+	}
+	host, hostNode := p.cell, p.node
+	c.retireForeignCopies(host, p.spec.ID, p.localCands)
+	old, _ := headNode.Head().ActiveNode(p.spec.ID)
+	headNode.Head().Promote(p.spec.ID, hs.home, old)
+	p.cell, p.node, p.foreign, p.localCands = origin, hs.home, false, nil
+	p.export, p.have = hs.export, true
+	c.finishHandshake(p, hs)
+	c.bus().publish(InterCellMigrationEvent{
+		At:        c.eng.Now(),
+		Task:      p.spec.ID,
+		FromCell:  c.cellName(host),
+		ToCell:    c.cellName(origin),
+		From:      hostNode,
+		To:        hs.home,
+		Rebalance: true,
+	})
+}
+
+// abortRebalance cancels an in-flight handshake: a freshly imported
+// prepared replica is retired again (a pre-existing home replica just
+// keeps its backup role), the foreign master keeps actuating, and the
+// next coordinator tick may reopen the handshake.
+func (c *Campus) abortRebalance(p *taskPlacement, hs *rebalanceHandshake) {
+	if p.hs != hs {
+		return
+	}
+	if hs.imported && hs.home != 0 {
+		if n := c.cells[p.origin].nodes[hs.home]; n != nil {
+			_ = n.RetireTask(p.spec.ID)
+		}
+	}
+	c.finishHandshake(p, hs)
+}
+
+// finishHandshake releases the handshake's timeout and migration shield.
+func (c *Campus) finishHandshake(p *taskPlacement, hs *rebalanceHandshake) {
+	c.eng.Cancel(hs.deadline)
+	p.hs = nil
+	p.migrating = false
 }
 
 // retireForeignCopies removes a task's replicas from a cell that used
@@ -719,53 +972,6 @@ func (c *Campus) homeHost(origin int, spec TaskSpec) NodeID {
 		return nodes[0]
 	}
 	return 0
-}
-
-// deliverHome lands a rebalanced task back in its origin cell: restore
-// the shipped state into a home replica, retire the foreign copies, and
-// let the origin head re-arbitrate the master (which publishes the
-// usual FailoverEvent inside the origin cell).
-func (c *Campus) deliverHome(key string, p *taskPlacement, payload []byte) {
-	p.migrating = false
-	ex, err := wire.DecodeTaskExport(payload)
-	if err != nil {
-		return
-	}
-	origin := p.origin
-	headNode := c.cells[origin].nodes[c.specs[origin].VC.Head]
-	if headNode == nil || headNode.Head() == nil || c.headDown(origin) {
-		return // origin relapsed mid-flight; stay foreign and retry
-	}
-	dst := c.homeHost(origin, p.spec)
-	if dst == 0 {
-		return
-	}
-	destNode := c.cells[origin].nodes[dst]
-	if destNode.HasReplica(ex.TaskID) {
-		if err := destNode.AdoptState(p.spec, ex); err != nil {
-			return
-		}
-	} else if err := destNode.ImportTask(p.spec, ex, false); err != nil {
-		return
-	}
-	// Retire every foreign copy (master and adopted backup) and the
-	// hosting head's adoption before re-activating at home, so exactly
-	// one master survives.
-	host, hostNode := p.cell, p.node
-	c.retireForeignCopies(host, ex.TaskID, p.localCands)
-	old, _ := headNode.Head().ActiveNode(ex.TaskID)
-	headNode.Head().Promote(ex.TaskID, dst, old)
-	p.cell, p.node, p.foreign, p.localCands = origin, dst, false, nil
-	p.export, p.have = ex, true
-	c.bus().publish(InterCellMigrationEvent{
-		At:        c.eng.Now(),
-		Task:      ex.TaskID,
-		FromCell:  c.cellName(host),
-		ToCell:    c.cellName(origin),
-		From:      hostNode,
-		To:        dst,
-		Rebalance: true,
-	})
 }
 
 // KillNodesPlan returns a fault plan that crashes every listed radio at
@@ -801,6 +1007,16 @@ func OutageWindowPlan(name string, from, until time.Duration, ids ...NodeID) Fau
 		steps = append(steps, FaultStep{At: until, RecoverNode: id})
 	}
 	return FaultPlan{Name: name, Steps: steps}
+}
+
+// LinkOutagePlan severs the backbone link between two named cells at
+// from and restores it at until — the link-level counterpart of
+// OutageWindowPlan. Apply through Campus.ApplyFaultPlan.
+func LinkOutagePlan(name string, from, until time.Duration, a, b string) FaultPlan {
+	return FaultPlan{Name: name, Steps: []FaultStep{
+		{At: from, LinkDown: &LinkRef{A: a, B: b}},
+		{At: until, LinkUp: &LinkRef{A: a, B: b}},
+	}}
 }
 
 // KillCellPlan returns a fault plan that crashes every member radio of

@@ -293,3 +293,194 @@ func TestSyntheticFeedPublishesActuationEvents(t *testing.T) {
 		t.Fatal("synthetic-feed scenario published no ActuationEvent")
 	}
 }
+
+// TestNilRebalancePolicyDemotesStaleMasterOnRecovery is the regression
+// test for the permanent dual-master: with no RebalancePolicy a task
+// stays foreign after its origin cell recovers, and before the fix the
+// recovered origin's stale master resumed actuating alongside the
+// foreign copy forever. The coordinator must now demote the stale
+// master on recovery even though nothing rebalances.
+func TestNilRebalancePolicyDemotesStaleMasterOnRecovery(t *testing.T) {
+	campus, err := NewCampus(CampusConfig{Seed: 1},
+		smallUnit("west", "w"), smallUnit("east", "e"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer campus.Stop()
+	log := campus.Events().Log()
+	outage := OutageWindowPlan("west-outage", 10*time.Second, 18500*time.Millisecond,
+		1, 2, 3, 4, 5, 6)
+	if err := campus.ApplyFaultPlan("west", outage); err != nil {
+		t.Fatal(err)
+	}
+	campus.Run(35 * time.Second)
+
+	p, ok := campus.TaskPlacements()["west/w-loop"]
+	if !ok || !p.Foreign || p.Cell != "east" {
+		t.Fatalf("placement = %+v, want foreign in east (nil rebalance keeps it there)", p)
+	}
+	// The stale west master must be demoted and silent after recovery.
+	staleActs, eastActs := 0, 0
+	for _, ev := range log.Events() {
+		ce, isCell := ev.(CellEvent)
+		if !isCell {
+			continue
+		}
+		act, isAct := ce.Inner.(ActuationEvent)
+		if !isAct || act.Task != "w-loop" || act.At < 21*time.Second {
+			continue
+		}
+		switch ce.Cell {
+		case "west":
+			staleActs++
+		case "east":
+			eastActs++
+		}
+	}
+	if staleActs != 0 {
+		t.Fatalf("stale west master actuated %d times after recovery — dual master", staleActs)
+	}
+	if eastActs == 0 {
+		t.Fatal("foreign master stopped actuating after the origin recovered")
+	}
+	if role := campus.Cell("west").Node(3).Role("w-loop"); role == RoleActive {
+		t.Fatal("recovered origin replica still holds the Active role")
+	}
+	if vs := CheckEvents(log.Events(), DefaultInvariants()...); len(vs) != 0 {
+		t.Fatalf("invariants violated: %v", vs)
+	}
+}
+
+// TestRebalanceAbortKeepsForeignMaster drives the handshake's abort
+// path: the prepare leg lands at the recovered origin, but the link is
+// severed while the commit leg is in flight — the commit drops, the
+// retransmission finds no route, and the handshake aborts leaving the
+// foreign master in charge. Once the link heals, the next coordinator
+// tick reopens the handshake and the task commits home.
+func TestRebalanceAbortKeepsForeignMaster(t *testing.T) {
+	campus, err := NewCampus(CampusConfig{
+		Seed:      1,
+		Rebalance: HomewardRebalance{},
+		Links:     []BackboneLink{{A: "n", B: "s"}},
+	}, smallUnit("n", "n"), smallUnit("s", "s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer campus.Stop()
+	log := campus.Events().Log()
+	// Recover off-tick at 11.5s so the handshake opens exactly at the
+	// 12s tick; the sever at 12.03s catches the commit leg in flight
+	// (prepare arrives ~12.020s, commit ~12.040s).
+	plan := OutageWindowPlan("n-outage", 5*time.Second, 11500*time.Millisecond,
+		1, 2, 3, 4, 5, 6)
+	plan.Steps = append(plan.Steps,
+		FaultStep{At: 12030 * time.Millisecond, LinkDown: &LinkRef{A: "n", B: "s"}},
+		FaultStep{At: 14500 * time.Millisecond, LinkUp: &LinkRef{A: "n", B: "s"}},
+	)
+	if err := campus.ApplyFaultPlan("n", plan); err != nil {
+		t.Fatal(err)
+	}
+	campus.Run(25 * time.Second)
+
+	var rebalances []InterCellMigrationEvent
+	foreignActsDuringAbort := 0
+	for _, ev := range log.Events() {
+		switch e := ev.(type) {
+		case InterCellMigrationEvent:
+			if e.Rebalance {
+				rebalances = append(rebalances, e)
+			}
+		case CellEvent:
+			if act, ok := e.Inner.(ActuationEvent); ok && e.Cell == "s" && act.Task == "n-loop" &&
+				act.At > 12500*time.Millisecond && act.At < 14500*time.Millisecond {
+				foreignActsDuringAbort++
+			}
+		}
+	}
+	if len(rebalances) != 1 {
+		t.Fatalf("rebalance events = %d, want exactly one (the retry after the abort)", len(rebalances))
+	}
+	if rebalances[0].At < 14500*time.Millisecond {
+		t.Fatalf("rebalance committed at %v, before the link healed — the abort path never ran", rebalances[0].At)
+	}
+	if foreignActsDuringAbort == 0 {
+		t.Fatal("foreign master went silent after the aborted handshake")
+	}
+	if st := campus.Backbone().Stats(); st.Failed < 1 {
+		t.Fatalf("backbone stats = %+v, want the dropped commit leg to fail", st)
+	}
+	p := campus.TaskPlacements()["n/n-loop"]
+	if p.Foreign || p.Cell != "n" {
+		t.Fatalf("placement = %+v, want home in n after the retried handshake", p)
+	}
+	if vs := CheckEvents(log.Events(), DefaultInvariants()...); len(vs) != 0 {
+		t.Fatalf("invariants violated: %v", vs)
+	}
+}
+
+// TestRefineryRingSeverAcceptance is the PR's acceptance scenario:
+// unit-a's outage escalates its four loops over the ring, the d-a link
+// is severed mid-outage, and the recovered unit-a takes every loop back
+// through the prepare/commit handshake — with traffic from unit-d forced
+// the long way round (a four-cell path), zero dual-master ticks across
+// the whole stream, and same-seed byte-identical campus streams.
+func TestRefineryRingSeverAcceptance(t *testing.T) {
+	run := func() ([]string, []Event, map[string]TaskPlacement) {
+		exp, err := BuildScenario(RunSpec{Scenario: ScenarioRefineryRingSever, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer exp.Cleanup()
+		log := exp.Campus.Events().Log()
+		exp.Campus.Run(40 * time.Second)
+		return log.Strings(), log.Events(), exp.Campus.TaskPlacements()
+	}
+	lines, events, placements := run()
+
+	rebalances, linkDowns, linkUps, longWay := 0, 0, 0, 0
+	for _, ev := range events {
+		switch e := ev.(type) {
+		case InterCellMigrationEvent:
+			if e.Rebalance {
+				rebalances++
+			}
+		case BackboneLinkEvent:
+			if e.Up {
+				linkUps++
+			} else {
+				linkDowns++
+			}
+		case BackboneRouteEvent:
+			if len(e.Path) == 4 {
+				longWay++
+			}
+		}
+	}
+	if rebalances != 4 {
+		t.Fatalf("rebalances = %d, want all 4 unit-a loops home", rebalances)
+	}
+	if linkDowns != 1 || linkUps != 1 {
+		t.Fatalf("link events = %d down / %d up, want 1/1", linkDowns, linkUps)
+	}
+	if longWay == 0 {
+		t.Fatal("no transfer took the long way round the severed ring")
+	}
+	for key, p := range placements {
+		if p.Foreign {
+			t.Fatalf("placement %s = %+v, want everything home after rebalance", key, p)
+		}
+	}
+	if vs := CheckEvents(events, DefaultInvariants()...); len(vs) != 0 {
+		t.Fatalf("invariants violated: %v", vs)
+	}
+
+	again, _, _ := run()
+	if len(lines) != len(again) {
+		t.Fatalf("same-seed campus streams differ in length: %d vs %d", len(lines), len(again))
+	}
+	for i := range lines {
+		if lines[i] != again[i] {
+			t.Fatalf("campus event %d differs:\n  run1: %s\n  run2: %s", i, lines[i], again[i])
+		}
+	}
+}

@@ -98,6 +98,22 @@ func (h *Head) AdoptTask(spec TaskSpec, active radio.NodeID) {
 	}
 }
 
+// RetireMaster relinquishes a task's mastership without electing a
+// successor: the recorded master (typically a stale primary that
+// resumed after an outage while the live copy runs in a peer cell) is
+// demoted to backup, and the head records no active node — so any later
+// health bundle still claiming Active for the task is demoted too. The
+// federation coordinator calls this when a recovered cell's task is
+// hosted elsewhere; a subsequent Promote re-establishes a master.
+func (h *Head) RetireMaster(taskID string) {
+	cur, ok := h.active[taskID]
+	if !ok || cur == 0 {
+		return
+	}
+	h.broadcastRole(wire.RoleChange{Node: uint16(cur), TaskID: taskID, Role: wire.RoleBackup})
+	h.active[taskID] = 0
+}
+
 // DropTask forgets an adopted task (its home cell took it back). Tasks
 // of the cell's own Virtual Component are never dropped.
 func (h *Head) DropTask(taskID string) {

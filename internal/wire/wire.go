@@ -703,6 +703,61 @@ func DecodeModeChange(b []byte) (ModeChange, error) {
 
 // --- federation: cross-cell task transfer -------------------------------------
 
+// Rebalance handshake phases. The federation coordinator rehomes a
+// foreign task with a two-leg prepare/commit exchange over the backbone:
+// the prepare leg ships the checkpoint from the hosting cell to the
+// recovered origin (which restores it into an inactive home replica),
+// and the commit leg travels back to the hosting cell, whose delivery
+// retires the foreign master before the home replica activates. A lost
+// leg aborts the handshake and the foreign master keeps actuating.
+const (
+	RebalancePrepare uint8 = iota + 1
+	RebalanceCommit
+)
+
+// RebalanceMsg is one leg of the prepare/commit rebalance handshake.
+// Prepare carries the encoded TaskExport; Commit carries only the ID.
+type RebalanceMsg struct {
+	Phase  uint8
+	TaskID string
+	Export []byte
+}
+
+// Encode packs the handshake leg.
+func (m RebalanceMsg) Encode() ([]byte, error) {
+	if m.Phase != RebalancePrepare && m.Phase != RebalanceCommit {
+		return nil, fmt.Errorf("wire: rebalance phase %d", m.Phase)
+	}
+	var w writer
+	w.u8(m.Phase)
+	if err := w.str(m.TaskID); err != nil {
+		return nil, err
+	}
+	w.u32(uint32(len(m.Export)))
+	w.buf = append(w.buf, m.Export...)
+	return w.buf, nil
+}
+
+// DecodeRebalanceMsg unpacks a handshake leg.
+func DecodeRebalanceMsg(b []byte) (RebalanceMsg, error) {
+	r := reader{buf: b}
+	var m RebalanceMsg
+	var err error
+	if m.Phase, err = r.u8(); err != nil {
+		return m, err
+	}
+	if m.Phase != RebalancePrepare && m.Phase != RebalanceCommit {
+		return m, fmt.Errorf("wire: rebalance phase %d", m.Phase)
+	}
+	if m.TaskID, err = r.str(); err != nil {
+		return m, err
+	}
+	if m.Export, err = r.blob(); err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
 // TaskExport is the cross-cell capsule: everything a peer cell needs to
 // resume a control task after its home cell exhausted local migration
 // candidates — the latest state snapshot, the output sequence number and,

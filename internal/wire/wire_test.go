@@ -181,3 +181,43 @@ func TestEmptyDecodes(t *testing.T) {
 		t.Fatal("empty join decoded")
 	}
 }
+
+func TestRebalanceMsgRoundTrip(t *testing.T) {
+	ex, err := TaskExport{TaskID: "loop", Seq: 7, Blob: []byte{1, 2, 3}}.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range []RebalanceMsg{
+		{Phase: RebalancePrepare, TaskID: "loop", Export: ex},
+		{Phase: RebalanceCommit, TaskID: "loop"},
+	} {
+		b, err := in.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := DecodeRebalanceMsg(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Phase != in.Phase || out.TaskID != in.TaskID || string(out.Export) != string(in.Export) {
+			t.Fatalf("round trip: %+v vs %+v", out, in)
+		}
+	}
+}
+
+func TestRebalanceMsgRejectsBadPhase(t *testing.T) {
+	if _, err := (RebalanceMsg{Phase: 9, TaskID: "x"}).Encode(); err == nil {
+		t.Fatal("phase 9 encoded")
+	}
+	b, err := (RebalanceMsg{Phase: RebalanceCommit, TaskID: "x"}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[0] = 0
+	if _, err := DecodeRebalanceMsg(b); err == nil {
+		t.Fatal("phase 0 decoded")
+	}
+	if _, err := DecodeRebalanceMsg(nil); !errors.Is(err, ErrTruncated) {
+		t.Fatal("nil rebalance msg decoded")
+	}
+}

@@ -1,0 +1,290 @@
+package evm
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Violation is one invariant breach found in a recorded event stream.
+type Violation struct {
+	At      time.Duration
+	Checker string
+	Detail  string
+}
+
+// String renders the violation one line.
+func (v Violation) String() string {
+	return fmt.Sprintf("%v %s: %s", v.At, v.Checker, v.Detail)
+}
+
+// InvariantChecker replays a recorded event stream and accumulates
+// violations of one safety property. Checkers are pure observers: feed
+// them every event of an EventLog in publication order (cell streams and
+// merged campus streams both work — CellEvent wrappers are unwrapped)
+// and read Violations at the end. A fresh checker per replay; they keep
+// state.
+//
+// To write a custom checker, implement the three methods and derive your
+// property's state machine from the typed events: FailoverEvent and
+// InterCellMigrationEvent are the only ways mastership moves,
+// ActuationEvent records which node's output reached a gateway, and
+// BackboneLinkEvent brackets the epochs between link-set changes.
+type InvariantChecker interface {
+	// Name labels the checker in violations.
+	Name() string
+	// Observe feeds one event, in stream order.
+	Observe(Event)
+	// Violations returns every breach found so far.
+	Violations() []Violation
+}
+
+// DefaultInvariantGrace is the settling window the built-in checkers
+// allow around a legitimate transition: actuations already in TDMA
+// flight when a master was demoted, and the demotion round-trip after a
+// stale replica's radio recovers, are not violations within it. Four
+// default 250 ms frames cover both.
+const DefaultInvariantGrace = time.Second
+
+// CheckEvents replays a recorded stream through the checkers and returns
+// every violation found (nil when all invariants hold).
+func CheckEvents(events []Event, checkers ...InvariantChecker) []Violation {
+	for _, ev := range events {
+		for _, c := range checkers {
+			c.Observe(ev)
+		}
+	}
+	var out []Violation
+	for _, c := range checkers {
+		out = append(out, c.Violations()...)
+	}
+	return out
+}
+
+// DefaultInvariants returns fresh instances of every built-in checker:
+// single-master-per-task, no-actuation-from-demoted-replica and
+// route-monotonicity.
+func DefaultInvariants() []InvariantChecker {
+	return []InvariantChecker{
+		NewSingleMasterInvariant(DefaultInvariantGrace),
+		NewDemotedSilenceInvariant(DefaultInvariantGrace),
+		NewRouteMonotonicityInvariant(),
+	}
+}
+
+// splitEvent unwraps a campus CellEvent into its cell name and inner
+// event; bare cell-stream events carry the empty cell name.
+func splitEvent(ev Event) (string, Event) {
+	if ce, ok := ev.(CellEvent); ok {
+		return ce.Cell, ce.Inner
+	}
+	return "", ev
+}
+
+// masterRef names one node in one cell ("" for single-cell streams).
+type masterRef struct {
+	cell string
+	node NodeID
+}
+
+func (r masterRef) String() string {
+	if r.cell == "" {
+		return fmt.Sprintf("node %d", r.node)
+	}
+	return fmt.Sprintf("%s/%d", r.cell, r.node)
+}
+
+// masterTracker is the shared state machine of the actuation checkers:
+// it derives, per task, the current master and the set of demoted
+// ex-masters with their demotion times, from the only two events that
+// move mastership. A FaultRecover refreshes a demoted node's timestamp —
+// a recovered stale replica is granted one demotion round-trip before
+// its silence is enforced.
+type masterTracker struct {
+	masters map[string]masterRef
+	demoted map[string]map[masterRef]time.Duration
+}
+
+func newMasterTracker() masterTracker {
+	return masterTracker{
+		masters: make(map[string]masterRef),
+		demoted: make(map[string]map[masterRef]time.Duration),
+	}
+}
+
+func (t *masterTracker) promote(task string, next, old masterRef, at time.Duration) {
+	t.masters[task] = next
+	m := t.demoted[task]
+	if m == nil {
+		m = make(map[masterRef]time.Duration)
+		t.demoted[task] = m
+	}
+	delete(m, next)
+	if old.node != 0 {
+		m[old] = at
+	}
+}
+
+func (t *masterTracker) refresh(ref masterRef, at time.Duration) {
+	for _, m := range t.demoted {
+		if _, ok := m[ref]; ok {
+			m[ref] = at
+		}
+	}
+}
+
+// observe updates the tracker from one event and reports whether it was
+// consumed as a mastership/recovery transition.
+func (t *masterTracker) observe(cell string, inner Event) {
+	switch e := inner.(type) {
+	case FailoverEvent:
+		t.promote(e.Task, masterRef{cell, e.To}, masterRef{cell, e.From}, e.At)
+	case InterCellMigrationEvent:
+		t.promote(e.Task, masterRef{e.ToCell, e.To}, masterRef{e.FromCell, e.From}, e.At)
+	case FaultEvent:
+		if e.Kind == FaultRecover {
+			t.refresh(masterRef{cell, e.Node}, e.At)
+		}
+	}
+}
+
+// singleMasterInvariant checks that every actuation comes from the
+// task's current master (the first actuator seen is adopted as the
+// initial master; a just-demoted master may drain in-flight actuations
+// within the grace window).
+type singleMasterInvariant struct {
+	grace      time.Duration
+	tracker    masterTracker
+	violations []Violation
+}
+
+// NewSingleMasterInvariant builds the single-master-per-task checker.
+// grace <= 0 uses DefaultInvariantGrace.
+func NewSingleMasterInvariant(grace time.Duration) InvariantChecker {
+	if grace <= 0 {
+		grace = DefaultInvariantGrace
+	}
+	return &singleMasterInvariant{grace: grace, tracker: newMasterTracker()}
+}
+
+// Name implements InvariantChecker.
+func (c *singleMasterInvariant) Name() string { return "single-master-per-task" }
+
+// Observe implements InvariantChecker.
+func (c *singleMasterInvariant) Observe(ev Event) {
+	cell, inner := splitEvent(ev)
+	c.tracker.observe(cell, inner)
+	act, ok := inner.(ActuationEvent)
+	if !ok {
+		return
+	}
+	src := masterRef{cell, act.Node}
+	master, known := c.tracker.masters[act.Task]
+	if !known {
+		c.tracker.masters[act.Task] = src
+		return
+	}
+	if master == src {
+		return
+	}
+	if at, was := c.tracker.demoted[act.Task][src]; was && act.At-at <= c.grace {
+		return
+	}
+	c.violations = append(c.violations, Violation{
+		At: act.At, Checker: c.Name(),
+		Detail: fmt.Sprintf("task %s actuated from %s while master is %s", act.Task, src, master),
+	})
+}
+
+// Violations implements InvariantChecker.
+func (c *singleMasterInvariant) Violations() []Violation { return c.violations }
+
+// demotedSilenceInvariant checks that a demoted replica never actuates
+// again (outside the grace window) until re-promoted — the complementary
+// view of single-master: even a node the stream never crowned master
+// must stay silent once demoted.
+type demotedSilenceInvariant struct {
+	grace      time.Duration
+	tracker    masterTracker
+	violations []Violation
+}
+
+// NewDemotedSilenceInvariant builds the no-actuation-from-demoted-replica
+// checker. grace <= 0 uses DefaultInvariantGrace.
+func NewDemotedSilenceInvariant(grace time.Duration) InvariantChecker {
+	if grace <= 0 {
+		grace = DefaultInvariantGrace
+	}
+	return &demotedSilenceInvariant{grace: grace, tracker: newMasterTracker()}
+}
+
+// Name implements InvariantChecker.
+func (c *demotedSilenceInvariant) Name() string { return "no-actuation-from-demoted-replica" }
+
+// Observe implements InvariantChecker.
+func (c *demotedSilenceInvariant) Observe(ev Event) {
+	cell, inner := splitEvent(ev)
+	c.tracker.observe(cell, inner)
+	act, ok := inner.(ActuationEvent)
+	if !ok {
+		return
+	}
+	src := masterRef{cell, act.Node}
+	if at, was := c.tracker.demoted[act.Task][src]; was && act.At-at > c.grace {
+		c.violations = append(c.violations, Violation{
+			At: act.At, Checker: c.Name(),
+			Detail: fmt.Sprintf("task %s actuated from %s, demoted at %v", act.Task, src, at),
+		})
+	}
+}
+
+// Violations implements InvariantChecker.
+func (c *demotedSilenceInvariant) Violations() []Violation { return c.violations }
+
+// routeMonotonicityInvariant checks that backbone routing is
+// deterministic between link faults: within one link epoch (the stretch
+// of stream between BackboneLinkEvents) every transfer for a cell pair
+// must follow the same path. Routes may only change when the link set
+// does.
+type routeMonotonicityInvariant struct {
+	epoch      int
+	seen       map[string]routeSeen
+	violations []Violation
+}
+
+type routeSeen struct {
+	epoch int
+	path  string
+}
+
+// NewRouteMonotonicityInvariant builds the route-monotonicity checker.
+func NewRouteMonotonicityInvariant() InvariantChecker {
+	return &routeMonotonicityInvariant{seen: make(map[string]routeSeen)}
+}
+
+// Name implements InvariantChecker.
+func (c *routeMonotonicityInvariant) Name() string { return "route-monotonicity" }
+
+// Observe implements InvariantChecker.
+func (c *routeMonotonicityInvariant) Observe(ev Event) {
+	_, inner := splitEvent(ev)
+	switch e := inner.(type) {
+	case BackboneLinkEvent:
+		c.epoch++
+	case BackboneRouteEvent:
+		key := e.From + ">" + e.To
+		path := strings.Join(e.Path, ">")
+		prev, ok := c.seen[key]
+		if ok && prev.epoch == c.epoch && prev.path != path {
+			c.violations = append(c.violations, Violation{
+				At: e.At, Checker: c.Name(),
+				Detail: fmt.Sprintf("route %s changed from %s to %s with no link fault in between",
+					key, prev.path, path),
+			})
+		}
+		c.seen[key] = routeSeen{epoch: c.epoch, path: path}
+	}
+}
+
+// Violations implements InvariantChecker.
+func (c *routeMonotonicityInvariant) Violations() []Violation { return c.violations }

@@ -16,6 +16,22 @@ const (
 	PolicyAffinity    = "affinity"
 )
 
+// NodeLoad is one live runtime's entry in a CellCondition, so policies
+// can pre-pick the host node, not just the cell. The built-in policies
+// ignore it (the coordinator picks the host after the cell decision);
+// custom policies can use it to weigh intra-cell balance.
+type NodeLoad struct {
+	// Node is the runtime's ID inside its cell.
+	Node NodeID
+	// Replicas counts the task replicas currently installed on the node.
+	Replicas int
+	// Eligible marks the node able to take the request's task (live and
+	// not already holding a replica of it).
+	Eligible bool
+	// Head marks the cell's configured head (host of last resort).
+	Head bool
+}
+
 // CellCondition is one cell's entry in a placement or rebalance request:
 // the coordinator's deterministic snapshot of the cell's load, capacity
 // and backbone distance at decision time.
@@ -40,6 +56,10 @@ type CellCondition struct {
 	Hops int
 	// Origin marks the task's declared home cell.
 	Origin bool
+	// Nodes snapshots the cell's live runtimes in member order: per-node
+	// replica counts and task eligibility, for policies that pre-pick
+	// the host.
+	Nodes []NodeLoad
 }
 
 // PlacementRequest asks a PlacementPolicy to pick the destination cell

@@ -45,6 +45,13 @@ const (
 	MetricRebalances = "rebalances"
 	// MetricCellRecoveries counts head-down -> head-up transitions.
 	MetricCellRecoveries = "cell_recoveries"
+	// MetricBackboneLinkFaults counts backbone link severs (LinkDown
+	// steps taking effect; restores are the tail end of a fault already
+	// counted).
+	MetricBackboneLinkFaults = "backbone_link_faults"
+	// MetricBackboneReroutes counts retransmissions that picked a new
+	// path because the link set changed mid-transfer.
+	MetricBackboneReroutes = "backbone_reroutes"
 )
 
 // Runner executes a grid of RunSpecs across worker goroutines. Every
@@ -128,6 +135,8 @@ func (r *Runner) runOne(spec RunSpec) RunResult {
 		MetricBackboneDropped:     0,
 		MetricRebalances:          0,
 		MetricCellRecoveries:      0,
+		MetricBackboneLinkFaults:  0,
+		MetricBackboneReroutes:    0,
 	}
 	firstFailover := time.Duration(-1)
 	sub := bus.Subscribe(func(ev Event) {
@@ -155,6 +164,14 @@ func (r *Runner) runOne(spec RunSpec) RunResult {
 			counts[MetricCellOverloads]++
 		case CellRecoveredEvent:
 			counts[MetricCellRecoveries]++
+		case BackboneLinkEvent:
+			if !ev.(BackboneLinkEvent).Up {
+				counts[MetricBackboneLinkFaults]++
+			}
+		case BackboneRouteEvent:
+			if ev.(BackboneRouteEvent).Reroute {
+				counts[MetricBackboneReroutes]++
+			}
 		case BackboneEvent:
 			switch ev.(BackboneEvent).Kind {
 			case BackboneDeliver:

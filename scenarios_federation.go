@@ -22,6 +22,14 @@ const (
 	// Policy decides where escalated tasks land, and routing-aware
 	// policies avoid the lossy two-hop path.
 	ScenarioRefineryRing = "refinery-ring"
+	// ScenarioRefineryRingSever is the link-dynamics acceptance workload:
+	// the refinery on a clean ring whose unit-a dies at 10s and recovers
+	// at 22s, while the d-a ring link is severed mid-outage (12s) and
+	// only repaired at 30s. Escalated tasks rebalance home through the
+	// prepare/commit handshake, with traffic from unit-d forced the long
+	// way round (d-c-b-a); the invariant harness must find zero
+	// dual-master ticks.
+	ScenarioRefineryRingSever = "refinery-ring-sever"
 )
 
 // RefineryCellNodes is the member count of every refinery unit; node IDs
@@ -43,6 +51,7 @@ func init() {
 	MustRegisterScenario(ScenarioRefinery, buildRefineryScenario)
 	MustRegisterScenario(ScenarioCampusFailover, buildCampusFailoverScenario)
 	MustRegisterScenario(ScenarioRefineryRing, buildRefineryRingScenario)
+	MustRegisterScenario(ScenarioRefineryRingSever, buildRefineryRingSeverScenario)
 }
 
 // campusPID is the shared synthetic control law for federation cells.
@@ -190,6 +199,60 @@ func buildRefineryRingScenario(spec RunSpec) (*Experiment, error) {
 		Campus:         campus,
 		Policy:         policy.Name(),
 		DefaultHorizon: 35 * time.Second,
+		Metrics:        campusMetrics(campus),
+		Cleanup:        campus.Stop,
+	}, nil
+}
+
+// buildRefineryRingSeverScenario assembles the refinery on a clean ring
+// backbone with its fault choreography built in: unit-a dies wholesale
+// at 10s (its four loops escalate over the ring) and recovers at 22s;
+// the d-a ring link is severed at 12s — mid-outage — and repaired at
+// 30s. When the recovered unit-a takes its loops back through the
+// prepare/commit handshake, any loop hosted in unit-d must travel the
+// long way round the severed ring (d-c-b-a), visible as a three-hop
+// BackboneRouteEvent. The scenario is the acceptance workload for link
+// dynamics + single-master safety: same-seed campus streams are
+// byte-identical and the invariant harness reports zero dual-master
+// ticks.
+func buildRefineryRingSeverScenario(spec RunSpec) (*Experiment, error) {
+	policy, err := NewPlacementPolicy(spec.Policy)
+	if err != nil {
+		return nil, err
+	}
+	cfg := CampusConfig{
+		Seed:      spec.Seed,
+		Placement: policy,
+		Rebalance: HomewardRebalance{},
+		Backbone: BackboneConfig{
+			RetryAfter: 150 * time.Millisecond,
+			MaxRetries: 4,
+		},
+		Links: []BackboneLink{
+			{A: "unit-a", B: "unit-b"},
+			{A: "unit-b", B: "unit-c"},
+			{A: "unit-c", B: "unit-d"},
+			{A: "unit-d", B: "unit-a"},
+		},
+	}
+	campus, err := NewCampus(cfg, refineryCells()...)
+	if err != nil {
+		return nil, err
+	}
+	choreography := RefineryOutagePlan(10*time.Second, 22*time.Second)
+	choreography.Name = "outage-and-sever"
+	choreography.Steps = append(choreography.Steps,
+		FaultStep{At: 12 * time.Second, LinkDown: &LinkRef{A: "unit-d", B: "unit-a"}},
+		FaultStep{At: 30 * time.Second, LinkUp: &LinkRef{A: "unit-d", B: "unit-a"}},
+	)
+	if err := campus.ApplyFaultPlan("unit-a", choreography); err != nil {
+		campus.Stop()
+		return nil, err
+	}
+	return &Experiment{
+		Campus:         campus,
+		Policy:         policy.Name(),
+		DefaultHorizon: 40 * time.Second,
 		Metrics:        campusMetrics(campus),
 		Cleanup:        campus.Stop,
 	}, nil
