@@ -106,8 +106,10 @@ type BackboneStats struct {
 // Backbone is the inter-cell network of a Campus. It starts as an
 // implicit full mesh of identical links between every cell gateway; an
 // explicit topology built with AddLink replaces the mesh, and transfers
-// then follow deterministic shortest-path routes (fewest hops,
-// lowest-index next cell on ties) with per-hop delay and loss. It runs
+// then follow deterministic weighted shortest-path routes — links are
+// priced by expected delay, latency / (1 - PER), so a clean multi-hop
+// detour beats a lossy short-cut (equal-weight links reduce to min-hop
+// with lowest-index tie-breaks) — with per-hop delay and loss. It runs
 // on the shared simulation engine with its own PRNG fork so loss draws
 // never perturb any cell's radio stream.
 type Backbone struct {
@@ -329,27 +331,60 @@ func (b *Backbone) neighbors(of int) []int {
 	return out
 }
 
-// computeRoutes fills the next-hop matrix with BFS shortest paths
-// (fewest hops; the deterministic tie-break is BFS order over
-// ascending neighbor indices).
+// linkWeight prices one traversal of a link: its expected one-way delay
+// including end-to-end retransmits, latency / (1 - PER). A lossy link is
+// as expensive as its retry amplification, so a clean three-hop detour
+// can beat a 90%-loss direct hop (3x20 ms = 60 ms vs 20 ms / 0.1 =
+// 200 ms) while uniform clean links still reduce to min-hop routing.
+func linkWeight(link LinkConfig) float64 {
+	return link.Latency.Seconds() / (1 - link.PER)
+}
+
+// computeRoutes fills the next-hop matrix with weighted shortest paths
+// (Dijkstra over linkWeight). Tie-breaks are deterministic: equal-cost
+// routes prefer fewer hops, then the lowest-index predecessor — so
+// uniform link weights reduce to min-hop routing with lowest-index
+// detours, and recomputation after a link change is reproducible.
 func (b *Backbone) computeRoutes() {
 	n := len(b.names)
 	b.next = make([][]int, n)
 	for src := 0; src < n; src++ {
 		b.next[src] = make([]int, n)
+		dist := make([]float64, n)
+		hops := make([]int, n)
 		prev := make([]int, n)
+		done := make([]bool, n)
 		for i := range prev {
+			dist[i] = -1 // unreached
 			prev[i] = -1
 		}
-		prev[src] = src
-		queue := []int{src}
-		for len(queue) > 0 {
-			cur := queue[0]
-			queue = queue[1:]
+		dist[src], prev[src] = 0, src
+		for {
+			cur := -1
+			for i := 0; i < n; i++ {
+				if done[i] || dist[i] < 0 {
+					continue
+				}
+				if cur < 0 || dist[i] < dist[cur] ||
+					(dist[i] == dist[cur] && hops[i] < hops[cur]) {
+					cur = i
+				}
+			}
+			if cur < 0 {
+				break
+			}
+			done[cur] = true
 			for _, nb := range b.neighbors(cur) {
-				if prev[nb] < 0 {
-					prev[nb] = cur
-					queue = append(queue, nb)
+				if done[nb] {
+					continue
+				}
+				nd := dist[cur] + linkWeight(b.linkConfig(cur, nb))
+				nh := hops[cur] + 1
+				better := dist[nb] < 0 || nd < dist[nb] ||
+					(nd == dist[nb] && nh < hops[nb]) ||
+					(nd == dist[nb] && nh == hops[nb] && cur < prev[nb])
+				if better {
+					dist[nb], hops[nb], prev[nb] = nd, nh, cur
 				}
 			}
 		}

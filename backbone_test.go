@@ -128,6 +128,81 @@ func TestMeshMaterializesOnSever(t *testing.T) {
 	}
 }
 
+// TestWeightedRoutesAvoidLossyShortcut: routes are priced by expected
+// delay (latency / (1 - PER)), so a clean multi-hop detour beats a
+// lossy direct link — exactly where weighted routing diverges from
+// min-hop. The a-d link is one hop but drops 90% of transfers
+// (20 ms / 0.1 = 200 ms expected); the clean a>b>c>d detour costs
+// 3 x 20 ms = 60 ms and wins. Severing a detour link forces traffic
+// back onto the lossy shortcut; restoring it flips the route again,
+// deterministically.
+func TestWeightedRoutesAvoidLossyShortcut(t *testing.T) {
+	campus, err := NewCampus(CampusConfig{
+		Seed: 1,
+		Links: []BackboneLink{
+			{A: "a", B: "b"}, {A: "b", B: "c"}, {A: "c", B: "d"},
+			{A: "d", B: "a", Config: LinkConfig{PER: 0.9}},
+		},
+	}, smallUnit("a", "a"), smallUnit("b", "b"), smallUnit("c", "c"), smallUnit("d", "d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer campus.Stop()
+	bb := campus.Backbone()
+	if got := pathString(campus, bb.Route(0, 3)); got != "a>b>c>d" {
+		t.Fatalf("route a->d = %s, want the clean three-hop detour over the 90%%-loss direct link", got)
+	}
+	if hops := bb.Hops(0, 3); hops != 3 {
+		t.Fatalf("hops a->d = %d, want 3", hops)
+	}
+	// Min-hop would keep a>d here; prove the divergence both ways.
+	if err := bb.SetLinkDown("b", "c"); err != nil {
+		t.Fatal(err)
+	}
+	if got := pathString(campus, bb.Route(0, 3)); got != "a>d" {
+		t.Fatalf("route a->d with the detour severed = %s, want the lossy direct link", got)
+	}
+	if err := bb.SetLinkUp("b", "c"); err != nil {
+		t.Fatal(err)
+	}
+	if got := pathString(campus, bb.Route(0, 3)); got != "a>b>c>d" {
+		t.Fatalf("route a->d after restore = %s, want the detour back", got)
+	}
+}
+
+// TestWeightedRouteTieBreaksDeterministic: equal-cost routes prefer
+// fewer hops, then the lowest-index predecessor — uniform link weights
+// reduce to the PR-3 min-hop behavior.
+func TestWeightedRouteTieBreaksDeterministic(t *testing.T) {
+	// A diamond: a-b-d and a-c-d, all links identical. Both two-hop
+	// routes cost the same; the tie must resolve through b (lower index)
+	// on every recomputation.
+	campus, err := NewCampus(CampusConfig{
+		Seed: 1,
+		Links: []BackboneLink{
+			{A: "a", B: "b"}, {A: "a", B: "c"}, {A: "b", B: "d"}, {A: "c", B: "d"},
+		},
+	}, smallUnit("a", "a"), smallUnit("b", "b"), smallUnit("c", "c"), smallUnit("d", "d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer campus.Stop()
+	bb := campus.Backbone()
+	for i := 0; i < 3; i++ {
+		if got := pathString(campus, bb.Route(0, 3)); got != "a>b>d" {
+			t.Fatalf("route a->d = %s, want the lowest-index two-hop path", got)
+		}
+		// Force recomputation: sever and restore an uninvolved... there
+		// is no uninvolved link in the diamond, so flap the losing side.
+		if err := bb.SetLinkDown("c", "d"); err != nil {
+			t.Fatal(err)
+		}
+		if err := bb.SetLinkUp("c", "d"); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 // TestInFlightFrameDropsOnSeverThenReroutes: a transfer already in the
 // air when its link is severed drops on arrival, and the retransmission
 // re-resolves the route around the outage (publishing a Reroute event).

@@ -688,3 +688,25 @@ func BenchmarkInvariantChecking(b *testing.B) {
 	}
 	b.ReportMetric(float64(len(events)), "events")
 }
+
+// BenchmarkCampusRollout measures one full ota-campus run: the 4-cell
+// staged canary rollout over the lossy ring backbone, through unit-b's
+// PER burst, to the 30s horizon. capsule_frames/op is the per-replica
+// delivery volume; rollouts/op must stay 1.
+func BenchmarkCampusRollout(b *testing.B) {
+	var frames, rollouts, rollbacks float64
+	for i := 0; i < b.N; i++ {
+		res := (&Runner{Workers: 1}).Run([]RunSpec{{
+			Scenario: ScenarioOTACampus, Seed: uint64(i + 1), Horizon: 30 * time.Second,
+		}})
+		if res[0].Err != nil {
+			b.Fatal(res[0].Err)
+		}
+		frames += res[0].Metrics[MetricCapsuleFrames]
+		rollouts += res[0].Metrics[MetricRollouts]
+		rollbacks += res[0].Metrics[MetricRollbacks]
+	}
+	b.ReportMetric(frames/float64(b.N), "capsule_frames")
+	b.ReportMetric(rollouts/float64(b.N), "rollouts")
+	b.ReportMetric(rollbacks/float64(b.N), "rollbacks")
+}

@@ -27,7 +27,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (e1..e10, fed, policy, pipe, sever, grid or all)")
+	exp := flag.String("exp", "all", "experiment to run (e1..e10, fed, policy, pipe, sever, ota, grid or all)")
 	trend := flag.String("trend", "", "directory holding BENCH_pr*.json artifacts; print the cross-PR benchmark trend table and exit")
 	flag.StringVar(&eventDir, "events", "", "directory for per-run event CSVs from the grid sweep (empty = off)")
 	flag.Parse()
@@ -41,9 +41,9 @@ func main() {
 		"e1": e1Fig6, "e2": e2Failover, "e3": e3MACLifetime, "e4": e4SyncJitter,
 		"e5": e5ControlCycle, "e6": e6Migration, "e7": e7BQP, "e8": e8Degradation,
 		"e9": e9Admission, "e10": e10Attestation, "fed": fedCampus,
-		"policy": policyCompare, "pipe": pipeLine, "sever": severDemo, "grid": gridSweep,
+		"policy": policyCompare, "pipe": pipeLine, "sever": severDemo, "ota": otaRollouts, "grid": gridSweep,
 	}
-	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "fed", "policy", "pipe", "sever", "grid"}
+	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "fed", "policy", "pipe", "sever", "ota", "grid"}
 	if *exp != "all" {
 		fn, ok := experiments[*exp]
 		if !ok {
@@ -664,6 +664,92 @@ func severDemo() error {
 	return nil
 }
 
+// otaRollouts compares the three rollout strategies on identical seeds:
+// the ota-campus federation upgrades every loop from capsule v1 to v2
+// over the lossy ring backbone, and the staging strategy decides how the
+// campus trades upgrade latency against blast radius. A second pass
+// seeds a bad capsule (attests cleanly, never actuates) and shows the
+// health window tripping an automatic rollback.
+func otaRollouts() error {
+	header("OTA", "staged capsule rollouts: strategy comparison + bad-capsule rollback")
+	fmt.Println("  strategy      stages  deliveries  completed-at  bb sent/delivered  rollbacks")
+	for _, strategy := range []string{evm.RolloutCanaryCell, evm.RolloutCellByCell, evm.RolloutAllAtOnce} {
+		campus, err := evm.NewOTACampus(1)
+		if err != nil {
+			return err
+		}
+		log := campus.Events().Log()
+		var rollout *evm.Rollout
+		campus.Engine().After(evm.OTARolloutAt, func() {
+			rollout, err = campus.StartRollout(evm.OTACampusRolloutSpec(strategy))
+		})
+		campus.Run(30 * time.Second)
+		if err != nil {
+			campus.Stop()
+			return err
+		}
+		deliveries, rollbacks := 0, 0
+		var completedAt time.Duration
+		for _, ev := range log.Events() {
+			switch e := ev.(type) {
+			case evm.CapsuleDeliveryEvent:
+				deliveries++
+			case evm.RollbackEvent:
+				rollbacks++
+			case evm.RolloutEvent:
+				if e.Phase == evm.RolloutPhaseComplete {
+					completedAt = e.At
+				}
+			}
+		}
+		bb := campus.Backbone().Stats()
+		fmt.Printf("  %-12s  %6d  %10d  %12v  %9d/%d  %9d\n",
+			strategy, len(rollout.Stages()), deliveries, completedAt,
+			bb.Sent, bb.Delivered, rollbacks)
+		if rollout.State() != evm.RolloutComplete {
+			campus.Stop()
+			return fmt.Errorf("ota: %s rollout ended %s (%s)", strategy, rollout.State(), rollout.Reason())
+		}
+		campus.Stop()
+	}
+
+	campus, err := evm.NewOTACampus(1)
+	if err != nil {
+		return err
+	}
+	defer campus.Stop()
+	log := campus.Events().Log()
+	campus.Run(5 * time.Second)
+	bad, err := evm.OTABadCapsule("a-press-0", 3)
+	if err != nil {
+		return err
+	}
+	if err := campus.Capsules().Register(bad); err != nil {
+		return err
+	}
+	rollout, err := campus.StartRollout(evm.RolloutSpec{
+		Tasks:          []string{"a-press-0"},
+		Version:        3,
+		Strategy:       evm.RolloutAllAtOnce,
+		HealthWindow:   1500 * time.Millisecond,
+		ActuationBound: time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	campus.Run(10 * time.Second)
+	for _, ev := range log.Events() {
+		if rb, ok := ev.(evm.RollbackEvent); ok {
+			fmt.Printf("  bad capsule:  v%d rolled back to v%d at %v (%s, cells %v)\n",
+				rb.FromVersion, rb.ToVersion, rb.At, rb.Reason, rb.Cells)
+		}
+	}
+	if rollout.State() != evm.RolloutRolledBack {
+		return fmt.Errorf("ota: bad capsule ended %s, want rolled-back", rollout.State())
+	}
+	return nil
+}
+
 // trendTable reads every BENCH_pr*.json artifact in dir and prints one
 // row per benchmark with its ns/op across PRs — the cross-PR performance
 // trend (CI emits one artifact per PR; collect them into a directory and
@@ -751,6 +837,7 @@ func gridSweep() error {
 		evm.ScenarioGasPlant, evm.ScenarioEightController, evm.ScenarioCapacity,
 		evm.ScenarioCampusFailover, evm.ScenarioRefinery, evm.ScenarioRefineryRing,
 		evm.ScenarioRefineryRingSever, evm.ScenarioPipeline, evm.ScenarioRandomField,
+		evm.ScenarioOTACampus, evm.ScenarioModeChangeLine,
 	}
 	specs := evm.SpecGrid(scenarios,
 		[]uint64{1, 2, 3, 4},

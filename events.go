@@ -90,6 +90,26 @@ func (e JoinEvent) String() string {
 	return fmt.Sprintf("%v join node=%d", e.At, e.Node)
 }
 
+// ModeChangeEvent fires when the component head issues a synchronized
+// task-set switch (planned reconfiguration, paper §1.1 item 4): the new
+// mode activates at the named TDMA frame on every member that hears the
+// broadcast.
+type ModeChangeEvent struct {
+	At   time.Duration
+	Node NodeID // the issuing head
+	Mode uint8
+	// AtFrame is the TDMA frame at which the mode takes effect.
+	AtFrame uint64
+}
+
+// When implements Event.
+func (e ModeChangeEvent) When() time.Duration { return e.At }
+
+// String implements Event.
+func (e ModeChangeEvent) String() string {
+	return fmt.Sprintf("%v mode-change head=%d mode=%d frame=%d", e.At, e.Node, e.Mode, e.AtFrame)
+}
+
 // FaultKind classifies a FaultEvent.
 type FaultKind string
 
@@ -292,6 +312,16 @@ func eventSeriesName(ev Event) string {
 		return "backbone_routes"
 	case BackboneLinkEvent:
 		return "backbone_links"
+	case ModeChangeEvent:
+		return "mode_changes"
+	case RolloutEvent:
+		return "rollouts"
+	case CapsuleDeliveryEvent:
+		return "capsule_deliveries"
+	case RollbackEvent:
+		return "rollbacks"
+	case RebalanceAbortEvent:
+		return "rebalance_aborts"
 	default:
 		return "other"
 	}

@@ -382,6 +382,9 @@ func (c *Cell) wireNodeEvents(node *Node) {
 		h.SetJoinSink(func(member radio.NodeID) {
 			c.bus.publish(JoinEvent{At: c.eng.Now(), Node: member})
 		})
+		h.SetModeSink(func(mode uint8, atFrame uint64) {
+			c.bus.publish(ModeChangeEvent{At: c.eng.Now(), Node: id, Mode: mode, AtFrame: atFrame})
+		})
 	}
 }
 

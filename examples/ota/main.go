@@ -1,8 +1,11 @@
-// Command ota demonstrates over-the-air reprogramming: a live Virtual
-// Component receives a brand-new control-law capsule (different gain and
-// setpoint), the target node attests and admits it, and the head
-// activates the new code — "runtime programmable WSAC networks allow for
-// flexible item-by-item process customization" (paper §1).
+// Command ota demonstrates the over-the-air reprogramming subsystem: a
+// two-cell campus registers versioned control-law capsules in a
+// CapsuleStore, rolls v2 out campus-wide with a staged canary strategy
+// (attest/stage on every replica, then an atomic per-cell activation,
+// then a health window), and finally seeds a deliberately bad v3 whose
+// health window trips an automatic rollback — "runtime programmable
+// WSAC networks allow for flexible item-by-item process customization"
+// (paper §1), now as a fault-tolerant campus operation.
 package main
 
 import (
@@ -13,16 +16,7 @@ import (
 	"evm"
 )
 
-const (
-	feeder evm.NodeID = 1
-	ctrl1  evm.NodeID = 2
-	ctrl2  evm.NodeID = 3
-	headID evm.NodeID = 4
-	taskID            = "loop"
-)
-
-// v1 is the initially-deployed control law: out = 2*(50 - in), direct
-// acting around setpoint 50.
+// v1 is the deployed control law: out = 2 x (50 - in).
 const v1Source = `
 	PUSHQ 50.0
 	IN 0
@@ -36,7 +30,7 @@ const v1Source = `
 	OUT 0
 	HALT`
 
-// v2 retunes the law at runtime: setpoint 70, gain 3.
+// v2 retunes the law over the air: setpoint 70, gain 3.
 const v2Source = `
 	PUSHQ 70.0
 	IN 0
@@ -50,6 +44,52 @@ const v2Source = `
 	OUT 0
 	HALT`
 
+// v3 is the bad batch: it attests and instantiates cleanly but never
+// writes an actuator command, so the task falls silent the moment it
+// activates.
+const v3Source = `
+	IN 0
+	DROP
+	HALT`
+
+// unit declares one six-node cell (gateway 1, head 2, loop candidates
+// 3/4) running taskID on the v1 capsule.
+func unit(name, taskID string) evm.CellSpec {
+	return evm.CellSpec{
+		Name: name,
+		Options: []evm.CellOption{
+			evm.WithNodeCount(6),
+			evm.WithPlacement(evm.Grid(3, 2)),
+			evm.WithSlotsPerNode(3),
+			evm.WithPER(0),
+		},
+		VC: evm.VCConfig{
+			Name: name, Head: 2, Gateway: 1,
+			Tasks: []evm.TaskSpec{{
+				ID: taskID, SensorPort: 0, ActuatorPort: 10,
+				Period: 250 * time.Millisecond, WCET: 5 * time.Millisecond,
+				Candidates:   []evm.NodeID{3, 4},
+				DeviationTol: 5, DeviationWindow: 4, SilenceWindow: 8,
+				MakeLogic: func() (evm.TaskLogic, error) {
+					c, err := evm.AssembleCapsule(taskID, 1, v1Source)
+					if err != nil {
+						return nil, err
+					}
+					return evm.NewVMLogic(c)
+				},
+			}},
+			DormantAfter: 5 * time.Second,
+		},
+		Feed: &evm.FeedSpec{
+			Source: 1,
+			Period: 250 * time.Millisecond,
+			Sample: func() []evm.SensorReading {
+				return []evm.SensorReading{{Port: 0, Value: 40}}
+			},
+		},
+	}
+}
+
 func main() {
 	if err := run(); err != nil {
 		log.Fatal(err)
@@ -57,79 +97,91 @@ func main() {
 }
 
 func run() error {
-	v1, err := evm.AssembleCapsule(taskID, 1, v1Source)
+	tasks := []string{"north-loop", "south-loop"}
+
+	// The versioned capsule store: v1 (deployed) and v2 (the retune) for
+	// both loops. Registration validates encoding; the store keeps the
+	// attestation checksum the receiving nodes verify on delivery.
+	store := evm.NewCapsuleStore()
+	for _, task := range tasks {
+		for v, src := range map[uint8]string{1: v1Source, 2: v2Source} {
+			c, err := evm.AssembleCapsule(task, v, src)
+			if err != nil {
+				return err
+			}
+			if err := store.Register(c); err != nil {
+				return err
+			}
+		}
+	}
+
+	campus, err := evm.NewCampus(
+		evm.CampusConfig{Seed: 5, Capsules: store},
+		unit("north", "north-loop"), unit("south", "south-loop"))
 	if err != nil {
 		return err
 	}
-	cell, err := evm.NewCellWith(evm.CellConfig{Seed: 5},
-		evm.WithNodes(feeder, ctrl1, ctrl2, headID),
-		evm.WithPER(0))
-	if err != nil {
-		return err
-	}
-	// The capsule hand-off is visible on the event bus.
-	cell.Events().Subscribe(func(ev evm.Event) {
-		if e, ok := ev.(evm.MigrationEvent); ok {
-			fmt.Printf("[%8v] state for %q arrived on %v (from %v)\n", e.At, e.Task, e.To, e.From)
+	defer campus.Stop()
+
+	// The whole rollout is visible on the campus event bus.
+	campus.Events().Subscribe(func(ev evm.Event) {
+		switch e := ev.(type) {
+		case evm.RolloutEvent:
+			fmt.Printf("[%8v] rollout %-9s stage=%d cells=%v %s\n", e.At, e.Phase, e.Stage, e.Cells, e.Reason)
+		case evm.CapsuleDeliveryEvent:
+			fmt.Printf("[%8v]   capsule v%d -> %s/%d (task %s, attested)\n", e.At, e.Version, e.Cell, e.Node, e.Task)
+		case evm.RollbackEvent:
+			fmt.Printf("[%8v] ROLLBACK %s v%d -> v%d: %s\n", e.At, e.Task, e.FromVersion, e.ToVersion, e.Reason)
 		}
 	})
-	vc := evm.VCConfig{
-		Name: "ota", Head: headID, Gateway: feeder,
-		Tasks: []evm.TaskSpec{{
-			ID: taskID, SensorPort: 0, ActuatorPort: 1,
-			Period: 250 * time.Millisecond, WCET: 5 * time.Millisecond,
-			Candidates:   []evm.NodeID{ctrl1, ctrl2},
-			DeviationTol: 50, DeviationWindow: 8, SilenceWindow: 8,
-			MakeLogic: func() (evm.TaskLogic, error) {
-				return evm.NewVMLogic(v1)
-			},
-		}},
-	}
-	if err := cell.Deploy(vc); err != nil {
-		return err
-	}
-	feed, err := cell.StartSensorFeed(feeder, 250*time.Millisecond, func() []evm.SensorReading {
-		return []evm.SensorReading{{Port: 0, Value: 40}}
+
+	campus.Run(5 * time.Second)
+	north := campus.Cell("north").Node(3)
+	out, _ := north.LastOutput("north-loop")
+	fmt.Printf("v1 law active: output %.1f (2 x (50-40))\n\n", out)
+
+	// Campus-wide staged rollout to v2: the canary cell upgrades first,
+	// passes its health window, then the rest follow. Each cell's
+	// replicas attest + stage the capsule, and swap versions at one
+	// commit instant — a task's master and backups never run mixed
+	// versions.
+	rollout, err := campus.StartRollout(evm.RolloutSpec{
+		Tasks:    tasks,
+		Version:  2,
+		Strategy: evm.RolloutCanaryCell,
 	})
 	if err != nil {
 		return err
 	}
-	defer feed.Stop()
+	campus.Run(10 * time.Second)
+	out, _ = north.LastOutput("north-loop")
+	fmt.Printf("\nrollout %s; v2 law active: output %.1f (3 x (70-40))\n\n", rollout.State(), out)
 
-	cell.Run(5 * time.Second)
-	out, _ := cell.Node(ctrl1).LastOutput(taskID)
-	fmt.Printf("v1 law on %v: output %.1f (2x(50-40))\n", ctrl1, out)
-
-	// Assemble the retuned law and ship it over the air to the backup.
-	v2, err := evm.AssembleCapsule(taskID, 2, v2Source)
+	// The bad batch: v3 attests fine but never actuates. The health
+	// window after activation trips missed-actuation and the subsystem
+	// reverts the task to v2 automatically — state intact, the loop
+	// resumes where v2 left off.
+	bad, err := evm.AssembleCapsule("north-loop", 3, v3Source)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("deploying v2 capsule (%d bytes) over the air to %v...\n", len(v2.Code), ctrl2)
-	if err := cell.Node(ctrl1).DeployCapsule(v2, ctrl2); err != nil {
+	if err := campus.Capsules().Register(bad); err != nil {
 		return err
 	}
-	cell.Run(5 * time.Second)
-	out2, _ := cell.Node(ctrl2).LastOutput(taskID)
-	fmt.Printf("v2 law on %v: output %.1f (3x(70-40))\n", ctrl2, out2)
-
-	// Activate the new code: the head promotes the reprogrammed node.
-	cell.Node(headID).Head().CommandMigration(taskID, ctrl1, ctrl2) // state follows code
-	cell.Run(2 * time.Second)
-	promote(cell)
-	cell.Run(5 * time.Second)
-	fmt.Printf("active controller now %v running capsule v2\n", activeOf(cell))
-	cell.Stop()
+	badRollout, err := campus.StartRollout(evm.RolloutSpec{
+		Tasks:          []string{"north-loop"},
+		Version:        3,
+		Strategy:       evm.RolloutAllAtOnce,
+		HealthWindow:   1500 * time.Millisecond,
+		ActuationBound: time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	campus.Run(10 * time.Second)
+	out, _ = north.LastOutput("north-loop")
+	v, _ := north.CapsuleVersion("north-loop")
+	fmt.Printf("\nbad rollout %s (%s); loop back on v%d, output %.1f\n",
+		badRollout.State(), badRollout.Reason(), v, out)
 	return nil
-}
-
-func promote(cell *evm.Cell) {
-	// The head arbitrates the switch exactly as in a fail-over, but here
-	// it is an operator-planned activation.
-	cell.Node(headID).Head().Promote(taskID, ctrl2, ctrl1)
-}
-
-func activeOf(cell *evm.Cell) evm.NodeID {
-	id, _ := cell.Node(headID).Head().ActiveNode(taskID)
-	return id
 }

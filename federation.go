@@ -63,6 +63,9 @@ type CampusConfig struct {
 	// (default 10 x CheckPeriod): if the handshake has not committed by
 	// then it aborts and the foreign master keeps the task.
 	HandshakeTimeout time.Duration
+	// Capsules is the campus's versioned capsule store for over-the-air
+	// rollouts (nil = an empty store, created on first use).
+	Capsules *CapsuleStore
 }
 
 // taskPlacement is the coordinator's view of one control task: where it
@@ -140,6 +143,11 @@ type Campus struct {
 	cellDown   []bool                    // head-down state, for recovery events
 	feeds      []*sim.Ticker
 	ticker     *sim.Ticker
+
+	// OTA rollout state: the versioned capsule store and the set of
+	// tasks with a rollout in flight (one rollout per task at a time).
+	capsules  *CapsuleStore
+	otaActive map[string]bool
 }
 
 // NewCampus builds the federation: cells in spec order on one shared
@@ -169,6 +177,8 @@ func NewCampus(cfg CampusConfig, specs ...CellSpec) (*Campus, error) {
 		policy:     cfg.Placement,
 		rebalance:  cfg.Rebalance,
 		cellDown:   make([]bool, len(specs)),
+		capsules:   cfg.Capsules,
+		otaActive:  make(map[string]bool),
 	}
 	if c.policy == nil {
 		c.policy = LeastLoadedPolicy{}
@@ -829,10 +839,10 @@ func (c *Campus) startRebalance(key string, p *taskPlacement) {
 	p.hs = hs
 	p.migrating = true
 	p.dest = p.origin
-	hs.deadline = c.eng.After(c.cfg.HandshakeTimeout, func() { c.abortRebalance(p, hs) })
+	hs.deadline = c.eng.After(c.cfg.HandshakeTimeout, func() { c.abortRebalance(p, hs, "timeout") })
 	c.backbone.Send(p.cell, p.origin, prep,
 		func(b []byte) { c.onPrepare(key, p, hs, b) },
-		func() { c.abortRebalance(p, hs) })
+		func() { c.abortRebalance(p, hs, "prepare-lost") })
 }
 
 // onPrepare lands the prepare leg at the origin cell: restore the
@@ -847,32 +857,32 @@ func (c *Campus) onPrepare(key string, p *taskPlacement, hs *rebalanceHandshake,
 	}
 	msg, err := wire.DecodeRebalanceMsg(payload)
 	if err != nil || msg.Phase != wire.RebalancePrepare {
-		c.abortRebalance(p, hs)
+		c.abortRebalance(p, hs, "decode")
 		return
 	}
 	ex, err := wire.DecodeTaskExport(msg.Export)
 	if err != nil {
-		c.abortRebalance(p, hs)
+		c.abortRebalance(p, hs, "decode")
 		return
 	}
 	origin := p.origin
 	if c.headDown(origin) {
-		c.abortRebalance(p, hs)
+		c.abortRebalance(p, hs, "origin-down")
 		return
 	}
 	dst := c.homeHost(origin, p.spec)
 	if dst == 0 {
-		c.abortRebalance(p, hs)
+		c.abortRebalance(p, hs, "no-home-host")
 		return
 	}
 	destNode := c.cells[origin].nodes[dst]
 	if destNode.HasReplica(ex.TaskID) {
 		if err := destNode.AdoptState(p.spec, ex); err != nil {
-			c.abortRebalance(p, hs)
+			c.abortRebalance(p, hs, "restore")
 			return
 		}
 	} else if err := destNode.ImportTask(p.spec, ex, false); err != nil {
-		c.abortRebalance(p, hs)
+		c.abortRebalance(p, hs, "restore")
 		return
 	} else {
 		hs.imported = true
@@ -881,12 +891,12 @@ func (c *Campus) onPrepare(key string, p *taskPlacement, hs *rebalanceHandshake,
 	hs.export = ex
 	commit, err := (wire.RebalanceMsg{Phase: wire.RebalanceCommit, TaskID: p.spec.ID}).Encode()
 	if err != nil {
-		c.abortRebalance(p, hs)
+		c.abortRebalance(p, hs, "encode")
 		return
 	}
 	c.backbone.Send(origin, p.cell, commit,
 		func([]byte) { c.onCommit(key, p, hs) },
-		func() { c.abortRebalance(p, hs) })
+		func() { c.abortRebalance(p, hs, "commit-lost") })
 }
 
 // onCommit lands the commit leg at the hosting cell — the commit point:
@@ -901,7 +911,7 @@ func (c *Campus) onCommit(key string, p *taskPlacement, hs *rebalanceHandshake) 
 	origin := p.origin
 	headNode := c.cells[origin].nodes[c.specs[origin].VC.Head]
 	if headNode == nil || headNode.Head() == nil || c.headDown(origin) {
-		c.abortRebalance(p, hs)
+		c.abortRebalance(p, hs, "origin-relapsed")
 		return
 	}
 	host, hostNode := p.cell, p.node
@@ -925,8 +935,10 @@ func (c *Campus) onCommit(key string, p *taskPlacement, hs *rebalanceHandshake) 
 // abortRebalance cancels an in-flight handshake: a freshly imported
 // prepared replica is retired again (a pre-existing home replica just
 // keeps its backup role), the foreign master keeps actuating, and the
-// next coordinator tick may reopen the handshake.
-func (c *Campus) abortRebalance(p *taskPlacement, hs *rebalanceHandshake) {
+// next coordinator tick may reopen the handshake. Every abort publishes
+// a RebalanceAbortEvent naming its cause, so runs can count aborts
+// directly instead of inferring them from backbone failures.
+func (c *Campus) abortRebalance(p *taskPlacement, hs *rebalanceHandshake, reason string) {
 	if p.hs != hs {
 		return
 	}
@@ -936,6 +948,13 @@ func (c *Campus) abortRebalance(p *taskPlacement, hs *rebalanceHandshake) {
 		}
 	}
 	c.finishHandshake(p, hs)
+	c.bus().publish(RebalanceAbortEvent{
+		At:     c.eng.Now(),
+		Task:   p.spec.ID,
+		Host:   c.cellName(p.cell),
+		Origin: c.cellName(p.origin),
+		Reason: reason,
+	})
 }
 
 // finishHandshake releases the handshake's timeout and migration shield.
@@ -1106,4 +1125,27 @@ func (e InterCellMigrationEvent) String() string {
 	}
 	return fmt.Sprintf("%v %s task=%s from=%s/%d to=%s/%d",
 		e.At, kind, e.Task, e.FromCell, e.From, e.ToCell, e.To)
+}
+
+// RebalanceAbortEvent fires when a prepare/commit rebalance handshake
+// aborts and the foreign master keeps the task: a lost leg
+// ("prepare-lost"/"commit-lost"), the handshake timeout ("timeout"), a
+// relapsed or unprepared origin ("origin-down"/"origin-relapsed"/
+// "no-home-host"), or a failed restore ("restore"). The next coordinator
+// tick may reopen the handshake.
+type RebalanceAbortEvent struct {
+	At     time.Duration
+	Task   string
+	Host   string // cell keeping the foreign master
+	Origin string // recovered origin that failed to take the task back
+	Reason string
+}
+
+// When implements Event.
+func (e RebalanceAbortEvent) When() time.Duration { return e.At }
+
+// String implements Event.
+func (e RebalanceAbortEvent) String() string {
+	return fmt.Sprintf("%v rebalance-abort task=%s host=%s origin=%s reason=%s",
+		e.At, e.Task, e.Host, e.Origin, e.Reason)
 }

@@ -409,6 +409,20 @@ func TestRebalanceAbortKeepsForeignMaster(t *testing.T) {
 	if st := campus.Backbone().Stats(); st.Failed < 1 {
 		t.Fatalf("backbone stats = %+v, want the dropped commit leg to fail", st)
 	}
+	// The abort is first-class on the event stream: at least one
+	// RebalanceAbortEvent names the task, both cells and a cause.
+	aborts := 0
+	for _, ev := range log.Events() {
+		if ab, ok := ev.(RebalanceAbortEvent); ok {
+			aborts++
+			if ab.Task != "n-loop" || ab.Host != "s" || ab.Origin != "n" || ab.Reason == "" {
+				t.Fatalf("abort event = %+v", ab)
+			}
+		}
+	}
+	if aborts == 0 {
+		t.Fatal("aborted handshake published no RebalanceAbortEvent")
+	}
 	p := campus.TaskPlacements()["n/n-loop"]
 	if p.Foreign || p.Cell != "n" {
 		t.Fatalf("placement = %+v, want home in n after the retried handshake", p)

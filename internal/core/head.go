@@ -39,10 +39,12 @@ type Head struct {
 	dormantEvs []*sim.Event
 	stats      HeadStats
 
-	// failoverSink and joinSink are the facade's event-bus observers
-	// (FailoverEvent / JoinEvent on evm.Cell.Events).
+	// failoverSink, joinSink and modeSink are the facade's event-bus
+	// observers (FailoverEvent / JoinEvent / ModeChangeEvent on
+	// evm.Cell.Events).
 	failoverSink func(taskID string, from, to radio.NodeID)
 	joinSink     func(id radio.NodeID)
+	modeSink     func(mode uint8, atFrame uint64)
 }
 
 // SetFailoverSink registers the facade-level failover observer.
@@ -52,6 +54,10 @@ func (h *Head) SetFailoverSink(fn func(taskID string, from, to radio.NodeID)) {
 
 // SetJoinSink registers the facade-level membership observer.
 func (h *Head) SetJoinSink(fn func(id radio.NodeID)) { h.joinSink = fn }
+
+// SetModeSink registers the facade-level mode-change observer, fired
+// when the head issues a synchronized mode switch.
+func (h *Head) SetModeSink(fn func(mode uint8, atFrame uint64)) { h.modeSink = fn }
 
 func newHead(n *Node) *Head {
 	h := &Head{
@@ -314,6 +320,9 @@ func (h *Head) SetMode(mode uint8, inFrames uint64) {
 	local := msg
 	local.Src = h.node.id
 	h.node.onModeChange(local)
+	if h.modeSink != nil {
+		h.modeSink(mc.Mode, mc.AtFrame)
+	}
 }
 
 // CommandMigration orders the holder of a task to ship it to dest.

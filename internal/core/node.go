@@ -47,6 +47,14 @@ type replica struct {
 
 	roleSeq uint32 // last applied role-change sequence
 	enabled bool   // mode gating
+
+	// OTA staging (see ota.go): staged holds an attested-but-inactive
+	// capsule logic awaiting the rollout commit point; prev retains the
+	// previously active logic (state intact) for rollback.
+	staged        TaskLogic
+	stagedVersion uint8
+	prev          TaskLogic
+	prevVersion   uint8
 }
 
 // Node is the EVM runtime on one physical node: it executes its task

@@ -24,6 +24,11 @@ var (
 	ErrAttestation = errors.New("vm: capsule attestation failed")
 )
 
+// Checksum returns the capsule's attestation digest — the same FNV-64a
+// value Encode appends and Decode verifies. Capsule stores expose it so
+// operators can compare what is registered against what is deployed.
+func (c *Capsule) Checksum() uint64 { return c.checksum() }
+
 // checksum computes the FNV-64a attestation digest over the header+code.
 func (c *Capsule) checksum() uint64 {
 	h := fnv.New64a()

@@ -758,6 +758,68 @@ func DecodeRebalanceMsg(b []byte) (RebalanceMsg, error) {
 	return m, nil
 }
 
+// Capsule rollout phases. An over-the-air rollout upgrades every replica
+// of a task through a two-leg prepare/commit exchange (the same pattern
+// as the rebalance handshake): the prepare leg carries the encoded
+// capsule to the hosting cell, whose replicas attest and stage it
+// without activating; the commit leg, sent once every cell of the
+// rollout stage is staged, swaps all of a cell's replicas to the new
+// version at one instant — so a task's master and backups never run
+// mixed versions past the commit point.
+const (
+	CapsulePrepare uint8 = iota + 1
+	CapsuleCommit
+)
+
+// CapsuleMsg is one leg of the capsule rollout handshake on the campus
+// backbone. Prepare carries the encoded vm.Capsule; Commit carries only
+// the task and version.
+type CapsuleMsg struct {
+	Phase   uint8
+	TaskID  string
+	Version uint8
+	Capsule []byte
+}
+
+// Encode packs the rollout leg.
+func (m CapsuleMsg) Encode() ([]byte, error) {
+	if m.Phase != CapsulePrepare && m.Phase != CapsuleCommit {
+		return nil, fmt.Errorf("wire: capsule phase %d", m.Phase)
+	}
+	var w writer
+	w.u8(m.Phase)
+	w.u8(m.Version)
+	if err := w.str(m.TaskID); err != nil {
+		return nil, err
+	}
+	w.u32(uint32(len(m.Capsule)))
+	w.buf = append(w.buf, m.Capsule...)
+	return w.buf, nil
+}
+
+// DecodeCapsuleMsg unpacks a rollout leg.
+func DecodeCapsuleMsg(b []byte) (CapsuleMsg, error) {
+	r := reader{buf: b}
+	var m CapsuleMsg
+	var err error
+	if m.Phase, err = r.u8(); err != nil {
+		return m, err
+	}
+	if m.Phase != CapsulePrepare && m.Phase != CapsuleCommit {
+		return m, fmt.Errorf("wire: capsule phase %d", m.Phase)
+	}
+	if m.Version, err = r.u8(); err != nil {
+		return m, err
+	}
+	if m.TaskID, err = r.str(); err != nil {
+		return m, err
+	}
+	if m.Capsule, err = r.blob(); err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
 // TaskExport is the cross-cell capsule: everything a peer cell needs to
 // resume a control task after its home cell exhausted local migration
 // candidates — the latest state snapshot, the output sequence number and,

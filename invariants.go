@@ -2,6 +2,7 @@ package evm
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 )
@@ -288,3 +289,180 @@ func (c *routeMonotonicityInvariant) Observe(ev Event) {
 
 // Violations implements InvariantChecker.
 func (c *routeMonotonicityInvariant) Violations() []Violation { return c.violations }
+
+// --- timing invariants --------------------------------------------------------
+
+// DefaultActuationBound is the actuation-deadline checker's default gap
+// bound: generous enough for every built-in scenario's slowest loop
+// (1 s period x 8-cycle silence window, doubled).
+const DefaultActuationBound = 16 * time.Second
+
+// DefaultFailoverLatencyBound is the failover-latency checker's default
+// detection bound: a crashed master must be replaced well within it
+// (silence-window detection plus arbitration or one cross-cell
+// escalation round-trip).
+const DefaultFailoverLatencyBound = 10 * time.Second
+
+// actuationDeadlineInvariant checks that a task's actuation stream never
+// gaps longer than the bound without an explaining transition: once a
+// task is actuating, consecutive actuations must stay within bound of
+// each other unless a fault, fail-over, migration, mode change, rollout
+// or rollback occurred in between (any of those resets every task's gap
+// clock — they legitimately pause loops). A task that falls silent and
+// never resumes is the failover-latency checker's domain; this one
+// catches loops that resume late with no cause on record.
+type actuationDeadlineInvariant struct {
+	bound      time.Duration
+	lastAct    map[string]time.Duration // task -> last actuation (or reset point)
+	violations []Violation
+}
+
+// NewActuationDeadlineInvariant builds the actuation-deadline timing
+// checker. bound <= 0 uses DefaultActuationBound; set it to a small
+// multiple of the scenario's longest task period to tighten it.
+func NewActuationDeadlineInvariant(bound time.Duration) InvariantChecker {
+	if bound <= 0 {
+		bound = DefaultActuationBound
+	}
+	return &actuationDeadlineInvariant{bound: bound, lastAct: make(map[string]time.Duration)}
+}
+
+// Name implements InvariantChecker.
+func (c *actuationDeadlineInvariant) Name() string { return "actuation-deadline" }
+
+// Observe implements InvariantChecker.
+func (c *actuationDeadlineInvariant) Observe(ev Event) {
+	_, inner := splitEvent(ev)
+	switch act := inner.(type) {
+	case ActuationEvent:
+		if last, ok := c.lastAct[act.Task]; ok && act.At-last > c.bound {
+			c.violations = append(c.violations, Violation{
+				At: act.At, Checker: c.Name(),
+				Detail: fmt.Sprintf("task %s actuation gap %v exceeds bound %v with no transition in between",
+					act.Task, act.At-last, c.bound),
+			})
+		}
+		c.lastAct[act.Task] = act.At
+	case FaultEvent, FailoverEvent, MigrationEvent, InterCellMigrationEvent,
+		CellOverloadEvent, CellRecoveredEvent, ModeChangeEvent,
+		RolloutEvent, RollbackEvent, RebalanceAbortEvent, BackboneLinkEvent:
+		// A recorded transition excuses the pause it causes: restart
+		// every gap clock from here.
+		for task := range c.lastAct {
+			c.lastAct[task] = inner.When()
+		}
+	}
+}
+
+// Violations implements InvariantChecker.
+func (c *actuationDeadlineInvariant) Violations() []Violation { return c.violations }
+
+// failoverLatencyInvariant checks the silence-window detection bound:
+// when a task's current master crashes (FaultEvent{Crash} on its node),
+// a replacement — an in-cell FailoverEvent or a cross-cell migration —
+// must appear within the bound. The deadline disarms if the crashed
+// radio recovers first (no fail-over was needed) or the task actuates
+// again. Violations are flagged at the first event past the deadline, so
+// a stream that ends with the deadline still pending flags nothing —
+// checkers only judge what the stream can prove.
+type failoverLatencyInvariant struct {
+	bound      time.Duration
+	tracker    masterTracker
+	armed      map[string]armedFailover // task -> pending detection deadline
+	violations []Violation
+}
+
+type armedFailover struct {
+	at   time.Duration
+	node masterRef
+}
+
+// NewFailoverLatencyInvariant builds the failover-latency timing
+// checker. bound <= 0 uses DefaultFailoverLatencyBound.
+func NewFailoverLatencyInvariant(bound time.Duration) InvariantChecker {
+	if bound <= 0 {
+		bound = DefaultFailoverLatencyBound
+	}
+	return &failoverLatencyInvariant{
+		bound:   bound,
+		tracker: newMasterTracker(),
+		armed:   make(map[string]armedFailover),
+	}
+}
+
+// Name implements InvariantChecker.
+func (c *failoverLatencyInvariant) Name() string { return "failover-latency" }
+
+// Observe implements InvariantChecker.
+func (c *failoverLatencyInvariant) Observe(ev Event) {
+	cell, inner := splitEvent(ev)
+	c.expire(inner.When())
+	switch e := inner.(type) {
+	case ActuationEvent:
+		src := masterRef{cell, e.Node}
+		if _, known := c.tracker.masters[e.Task]; !known {
+			c.tracker.masters[e.Task] = src
+		}
+		delete(c.armed, e.Task) // the loop is alive again
+	case FailoverEvent:
+		delete(c.armed, e.Task)
+	case InterCellMigrationEvent:
+		delete(c.armed, e.Task)
+	case FaultEvent:
+		switch e.Kind {
+		case FaultCrash:
+			crashed := masterRef{cell, e.Node}
+			for task, master := range c.tracker.masters {
+				if master == crashed {
+					if _, pending := c.armed[task]; !pending {
+						c.armed[task] = armedFailover{at: e.At, node: crashed}
+					}
+				}
+			}
+		case FaultRecover:
+			back := masterRef{cell, e.Node}
+			for task, arm := range c.armed {
+				if arm.node == back {
+					delete(c.armed, task) // the master returned; no fail-over due
+				}
+			}
+		}
+	}
+	c.tracker.observe(cell, inner)
+}
+
+// expire flags every armed deadline the stream has provably blown, in
+// task order for reproducible violation lists.
+func (c *failoverLatencyInvariant) expire(now time.Duration) {
+	var due []string
+	for task, arm := range c.armed {
+		if now-arm.at > c.bound {
+			due = append(due, task)
+		}
+	}
+	sort.Strings(due)
+	for _, task := range due {
+		arm := c.armed[task]
+		delete(c.armed, task)
+		c.violations = append(c.violations, Violation{
+			At: arm.at + c.bound, Checker: c.Name(),
+			Detail: fmt.Sprintf("task %s master %s crashed at %v with no fail-over within %v",
+				task, arm.node, arm.at, c.bound),
+		})
+	}
+}
+
+// Violations implements InvariantChecker.
+func (c *failoverLatencyInvariant) Violations() []Violation { return c.violations }
+
+// TimingInvariants returns fresh instances of the timing checkers —
+// actuation-deadline and failover-latency — at the given bounds (<= 0
+// picks the defaults). They complement DefaultInvariants: safety
+// checkers prove nothing wrong happened, timing checkers prove the right
+// things happened soon enough.
+func TimingInvariants(actuationBound, failoverBound time.Duration) []InvariantChecker {
+	return []InvariantChecker{
+		NewActuationDeadlineInvariant(actuationBound),
+		NewFailoverLatencyInvariant(failoverBound),
+	}
+}

@@ -69,7 +69,8 @@ func TestInvariantsAcrossScenarioGrid(t *testing.T) {
 					if len(events) == 0 {
 						t.Fatal("scenario produced no events")
 					}
-					for _, v := range CheckEvents(events, DefaultInvariants()...) {
+					checkers := append(DefaultInvariants(), TimingInvariants(0, 0)...)
+					for _, v := range CheckEvents(events, checkers...) {
 						t.Errorf("violation: %s", v)
 					}
 				})
@@ -146,6 +147,84 @@ func TestInvariantCheckersDetectViolations(t *testing.T) {
 		}
 		if vs := CheckEvents(events, NewRouteMonotonicityInvariant()); len(vs) != 0 {
 			t.Fatalf("reroute across a link fault flagged: %v", vs)
+		}
+	})
+
+	t.Run("actuation-deadline", func(t *testing.T) {
+		events := []Event{
+			ActuationEvent{At: sec(1), Node: 3, Task: "loop"},
+			ActuationEvent{At: sec(2), Node: 3, Task: "loop"},
+			// 18s of silence with nothing on record to excuse it.
+			ActuationEvent{At: sec(20), Node: 3, Task: "loop"},
+		}
+		vs := CheckEvents(events, NewActuationDeadlineInvariant(10*time.Second))
+		if len(vs) != 1 {
+			t.Fatalf("violations = %v, want exactly the unexplained gap", vs)
+		}
+		// The same gap across a recorded transition is excused.
+		events = []Event{
+			ActuationEvent{At: sec(1), Node: 3, Task: "loop"},
+			ActuationEvent{At: sec(2), Node: 3, Task: "loop"},
+			FaultEvent{At: sec(3), Kind: FaultCrash, Node: 3},
+			FailoverEvent{At: sec(5), Task: "loop", From: 3, To: 4},
+			ActuationEvent{At: sec(12), Node: 4, Task: "loop"},
+		}
+		if vs := CheckEvents(events, NewActuationDeadlineInvariant(10*time.Second)); len(vs) != 0 {
+			t.Fatalf("excused gap flagged: %v", vs)
+		}
+		// A rollout's mode/rollback transitions excuse pauses too.
+		events = []Event{
+			ActuationEvent{At: sec(1), Node: 3, Task: "loop"},
+			RollbackEvent{At: sec(2), Task: "loop", FromVersion: 2, ToVersion: 1},
+			ActuationEvent{At: sec(11), Node: 3, Task: "loop"},
+		}
+		if vs := CheckEvents(events, NewActuationDeadlineInvariant(10*time.Second)); len(vs) != 0 {
+			t.Fatalf("post-rollback gap flagged: %v", vs)
+		}
+	})
+
+	t.Run("failover-latency", func(t *testing.T) {
+		events := []Event{
+			ActuationEvent{At: sec(1), Node: 3, Task: "loop"},
+			FaultEvent{At: sec(2), Kind: FaultCrash, Node: 3},
+			// Nothing replaces the master; any event past the bound
+			// proves the deadline blown.
+			JoinEvent{At: sec(20), Node: 9},
+		}
+		vs := CheckEvents(events, NewFailoverLatencyInvariant(5*time.Second))
+		if len(vs) != 1 {
+			t.Fatalf("violations = %v, want the blown detection deadline", vs)
+		}
+		if vs[0].At != sec(7) {
+			t.Fatalf("violation at %v, want crash + bound = 7s", vs[0].At)
+		}
+		// An in-time fail-over disarms the deadline.
+		events = []Event{
+			ActuationEvent{At: sec(1), Node: 3, Task: "loop"},
+			FaultEvent{At: sec(2), Kind: FaultCrash, Node: 3},
+			FailoverEvent{At: sec(4), Task: "loop", From: 3, To: 4},
+			JoinEvent{At: sec(20), Node: 9},
+		}
+		if vs := CheckEvents(events, NewFailoverLatencyInvariant(5*time.Second)); len(vs) != 0 {
+			t.Fatalf("in-time fail-over flagged: %v", vs)
+		}
+		// A recovered master disarms it too: no fail-over was due.
+		events = []Event{
+			ActuationEvent{At: sec(1), Node: 3, Task: "loop"},
+			FaultEvent{At: sec(2), Kind: FaultCrash, Node: 3},
+			FaultEvent{At: sec(4), Kind: FaultRecover, Node: 3},
+			JoinEvent{At: sec(20), Node: 9},
+		}
+		if vs := CheckEvents(events, NewFailoverLatencyInvariant(5*time.Second)); len(vs) != 0 {
+			t.Fatalf("recovered master flagged: %v", vs)
+		}
+		// A stream that ends mid-deadline proves nothing: no violation.
+		events = []Event{
+			ActuationEvent{At: sec(1), Node: 3, Task: "loop"},
+			FaultEvent{At: sec(2), Kind: FaultCrash, Node: 3},
+		}
+		if vs := CheckEvents(events, NewFailoverLatencyInvariant(5*time.Second)); len(vs) != 0 {
+			t.Fatalf("pending deadline flagged: %v", vs)
 		}
 	})
 }

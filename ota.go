@@ -1,0 +1,1055 @@
+package evm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"evm/internal/sim"
+	"evm/internal/vm"
+	"evm/internal/wire"
+)
+
+// Over-the-air reprogramming subsystem: a versioned CapsuleStore holds
+// attested code capsules per task; Campus.StartRollout disseminates a
+// registered version campus-wide over the backbone (wire.CapsuleMsg
+// prepare/commit legs) and in-cell to every replica of the task, staged
+// by a pluggable RolloutPolicy; each stage activates atomically per cell
+// and is followed by a health window — an invariant violation or a
+// missed-actuation signal during the window rolls every upgraded replica
+// back to the prior version and publishes a RollbackEvent.
+
+// --- capsule store ------------------------------------------------------------
+
+// CapsuleInfo is one registered capsule version as reported by the store.
+type CapsuleInfo struct {
+	TaskID   string
+	Version  uint8
+	Checksum uint64
+	Bytes    int
+}
+
+// CapsuleStore is the versioned capsule registry of a campus: every
+// version of every task's control law, keyed (task, version), with the
+// attestation checksum the receiving nodes verify on delivery.
+// Registration validates the capsule encodes; the stored copy is
+// immutable. Stores are safe for concurrent use.
+type CapsuleStore struct {
+	mu     sync.RWMutex
+	byTask map[string]map[uint8]Capsule
+}
+
+// NewCapsuleStore builds an empty store.
+func NewCapsuleStore() *CapsuleStore {
+	return &CapsuleStore{byTask: make(map[string]map[uint8]Capsule)}
+}
+
+// Register adds a capsule version. Duplicate (task, version) pairs and
+// capsules that do not encode are rejected.
+func (s *CapsuleStore) Register(c Capsule) error {
+	if c.TaskID == "" {
+		return fmt.Errorf("evm: capsule with empty task ID")
+	}
+	if c.Version == 0 {
+		return fmt.Errorf("evm: capsule %s needs a nonzero version", c.TaskID)
+	}
+	if _, err := c.Encode(); err != nil {
+		return err
+	}
+	c.Code = append([]byte(nil), c.Code...)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.byTask[c.TaskID]
+	if m == nil {
+		m = make(map[uint8]Capsule)
+		s.byTask[c.TaskID] = m
+	}
+	if _, dup := m[c.Version]; dup {
+		return fmt.Errorf("evm: capsule %s v%d already registered", c.TaskID, c.Version)
+	}
+	m[c.Version] = c
+	return nil
+}
+
+// Get returns the capsule registered for (task, version).
+func (s *CapsuleStore) Get(taskID string, version uint8) (Capsule, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.byTask[taskID][version]
+	if ok {
+		c.Code = append([]byte(nil), c.Code...)
+	}
+	return c, ok
+}
+
+// Latest returns the highest registered version of a task's capsule.
+func (s *CapsuleStore) Latest(taskID string) (Capsule, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var best Capsule
+	found := false
+	for v, c := range s.byTask[taskID] {
+		if !found || v > best.Version {
+			best, found = c, true
+		}
+	}
+	if found {
+		best.Code = append([]byte(nil), best.Code...)
+	}
+	return best, found
+}
+
+// Versions lists a task's registered capsules, ascending by version.
+func (s *CapsuleStore) Versions(taskID string) []CapsuleInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]CapsuleInfo, 0, len(s.byTask[taskID]))
+	for _, c := range s.byTask[taskID] {
+		out = append(out, CapsuleInfo{
+			TaskID: c.TaskID, Version: c.Version, Checksum: c.Checksum(), Bytes: len(c.Code),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Version < out[j].Version })
+	return out
+}
+
+// --- rollout policies ---------------------------------------------------------
+
+// Built-in rollout strategy names for RolloutSpec.Strategy and
+// NewRolloutPolicy.
+const (
+	RolloutCanaryCell = "canary-cell"
+	RolloutCellByCell = "cell-by-cell"
+	RolloutAllAtOnce  = "all-at-once"
+)
+
+// RolloutCell is one cell's entry in a rollout-policy request: how many
+// replicas of the rollout's tasks it hosts and how many of them are
+// masters (the blast radius of upgrading the cell).
+type RolloutCell struct {
+	// Index is the cell's position in campus declaration order.
+	Index int
+	// Name is the cell name.
+	Name string
+	// Replicas counts the replicas of the rollout's tasks in the cell.
+	Replicas int
+	// Masters counts the rollout tasks whose master runs in the cell.
+	Masters int
+}
+
+// RolloutPolicy decides how a capsule rollout is staged across the cells
+// hosting replicas of the target tasks: Stages partitions the listed
+// cells into ordered batches — each batch prepares, commits and passes
+// its health window before the next begins. Implementations must be
+// deterministic; the coordinator re-validates the plan (unknown or
+// duplicate cells are dropped, unlisted cells are appended as a final
+// stage) so a buggy policy can delay an upgrade but never skip a
+// replica.
+type RolloutPolicy interface {
+	// Name returns the policy's registry name.
+	Name() string
+	// Stages partitions the cells (given in declaration order) into
+	// ordered batches of cell indices.
+	Stages(cells []RolloutCell) [][]int
+}
+
+// AllAtOncePolicy upgrades every hosting cell in a single stage.
+type AllAtOncePolicy struct{}
+
+// Name implements RolloutPolicy.
+func (AllAtOncePolicy) Name() string { return RolloutAllAtOnce }
+
+// Stages implements RolloutPolicy.
+func (AllAtOncePolicy) Stages(cells []RolloutCell) [][]int {
+	batch := make([]int, len(cells))
+	for i, cc := range cells {
+		batch[i] = cc.Index
+	}
+	return [][]int{batch}
+}
+
+// CellByCellPolicy upgrades one cell per stage, in declaration order.
+type CellByCellPolicy struct{}
+
+// Name implements RolloutPolicy.
+func (CellByCellPolicy) Name() string { return RolloutCellByCell }
+
+// Stages implements RolloutPolicy.
+func (CellByCellPolicy) Stages(cells []RolloutCell) [][]int {
+	out := make([][]int, len(cells))
+	for i, cc := range cells {
+		out[i] = []int{cc.Index}
+	}
+	return out
+}
+
+// CanaryCellPolicy upgrades the cell with the smallest blast radius
+// first — fewest master replicas, then fewest replicas, then lowest
+// index — and, once the canary survives its health window, the rest in
+// one batch.
+type CanaryCellPolicy struct{}
+
+// Name implements RolloutPolicy.
+func (CanaryCellPolicy) Name() string { return RolloutCanaryCell }
+
+// Stages implements RolloutPolicy.
+func (CanaryCellPolicy) Stages(cells []RolloutCell) [][]int {
+	if len(cells) <= 1 {
+		return AllAtOncePolicy{}.Stages(cells)
+	}
+	canary := cells[0]
+	for _, cc := range cells[1:] {
+		better := cc.Masters < canary.Masters ||
+			(cc.Masters == canary.Masters && cc.Replicas < canary.Replicas)
+		if better {
+			canary = cc
+		}
+	}
+	rest := make([]int, 0, len(cells)-1)
+	for _, cc := range cells {
+		if cc.Index != canary.Index {
+			rest = append(rest, cc.Index)
+		}
+	}
+	return [][]int{{canary.Index}, rest}
+}
+
+// --- rollout policy registry --------------------------------------------------
+
+var rolloutRegistry = struct {
+	sync.RWMutex
+	builders map[string]func() RolloutPolicy
+}{builders: make(map[string]func() RolloutPolicy)}
+
+// RegisterRolloutPolicy adds a named rollout strategy to the global
+// registry, making it addressable from RolloutSpec.Strategy.
+func RegisterRolloutPolicy(name string, build func() RolloutPolicy) error {
+	if name == "" || build == nil {
+		return fmt.Errorf("evm: rollout policy needs a name and a builder")
+	}
+	rolloutRegistry.Lock()
+	defer rolloutRegistry.Unlock()
+	if _, dup := rolloutRegistry.builders[name]; dup {
+		return fmt.Errorf("evm: rollout policy %q already registered", name)
+	}
+	rolloutRegistry.builders[name] = build
+	return nil
+}
+
+// MustRegisterRolloutPolicy is RegisterRolloutPolicy that panics on
+// error — for package init blocks.
+func MustRegisterRolloutPolicy(name string, build func() RolloutPolicy) {
+	if err := RegisterRolloutPolicy(name, build); err != nil {
+		panic(err)
+	}
+}
+
+// RolloutPolicies lists the registered strategy names, sorted.
+func RolloutPolicies() []string {
+	rolloutRegistry.RLock()
+	defer rolloutRegistry.RUnlock()
+	out := make([]string, 0, len(rolloutRegistry.builders))
+	for name := range rolloutRegistry.builders {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NewRolloutPolicy instantiates a registered strategy by name. The empty
+// name returns the default (canary-cell).
+func NewRolloutPolicy(name string) (RolloutPolicy, error) {
+	if name == "" {
+		return CanaryCellPolicy{}, nil
+	}
+	rolloutRegistry.RLock()
+	build := rolloutRegistry.builders[name]
+	rolloutRegistry.RUnlock()
+	if build == nil {
+		return nil, fmt.Errorf("evm: unknown rollout policy %q (registered: %v)", name, RolloutPolicies())
+	}
+	return build(), nil
+}
+
+func init() {
+	MustRegisterRolloutPolicy(RolloutCanaryCell, func() RolloutPolicy { return CanaryCellPolicy{} })
+	MustRegisterRolloutPolicy(RolloutCellByCell, func() RolloutPolicy { return CellByCellPolicy{} })
+	MustRegisterRolloutPolicy(RolloutAllAtOnce, func() RolloutPolicy { return AllAtOncePolicy{} })
+}
+
+// --- rollout coordinator ------------------------------------------------------
+
+// RolloutSpec parameterizes one campus rollout.
+type RolloutSpec struct {
+	// Tasks are the task IDs to upgrade. Every task must have a capsule
+	// of the target Version registered in the campus CapsuleStore.
+	Tasks []string
+	// Version is the capsule version to roll out.
+	Version uint8
+	// Strategy names the RolloutPolicy ("" = canary-cell).
+	Strategy string
+	// Source names the cell whose gateway disseminates the capsules
+	// ("" = the first cell).
+	Source string
+	// HealthWindow is how long each stage is observed after activation
+	// before the next stage starts (default 3 s). A violation from the
+	// health checkers or a missed-actuation signal during the window
+	// rolls the whole rollout back. A window no longer than
+	// ActuationBound could never observe a bound-length silence, so it
+	// is extended to ActuationBound plus one task period when needed.
+	HealthWindow time.Duration
+	// StageTimeout bounds one stage's prepare/commit exchange (default
+	// 10 s): a stage not fully activated by then aborts the rollout.
+	StageTimeout time.Duration
+	// ActuationBound is the missed-actuation threshold inside the health
+	// window: a target task silent for longer trips the rollback.
+	// Default: 8x the longest target task period (at least 2 s).
+	ActuationBound time.Duration
+	// Checkers builds the invariant checkers replayed over the health
+	// window (nil = single-master, demoted-silence and the
+	// actuation-deadline timing checker at ActuationBound).
+	Checkers func() []InvariantChecker
+}
+
+// RolloutState is a rollout's lifecycle position.
+type RolloutState string
+
+// Rollout states.
+const (
+	RolloutRunning    RolloutState = "running"
+	RolloutComplete   RolloutState = "complete"
+	RolloutRolledBack RolloutState = "rolled-back"
+	RolloutAborted    RolloutState = "aborted"
+)
+
+// Rollout is one in-flight (or finished) campus rollout. All methods are
+// driven by the campus engine; inspect State after the campus has run.
+type Rollout struct {
+	c      *Campus
+	spec   RolloutSpec
+	policy RolloutPolicy
+	src    int
+
+	capsules map[string][]byte           // task -> encoded capsule at target version
+	targets  map[int]map[string][]NodeID // cell -> task -> replica holders
+	cellIdxs []int                       // targeted cells, ascending
+	stages   [][]int
+
+	stageIdx       int
+	pendingPrepare map[string]bool // "<cell>/<task>"
+	pendingCommit  map[string]bool
+	activated      []rolloutActivation
+	prevVersion    map[string]uint8 // task -> version before first activation
+	catchUps       int              // post-plan rescan rounds consumed
+
+	state  RolloutState
+	reason string
+
+	stageTimer  *sim.Event
+	healthTimer *sim.Event
+	healthSub   *Subscription
+	checkers    []InvariantChecker
+	lastAct     map[string]time.Duration
+	healthStart time.Duration
+}
+
+type rolloutActivation struct {
+	cell int
+	node NodeID
+	task string
+}
+
+// State returns the rollout's lifecycle position.
+func (r *Rollout) State() RolloutState { return r.state }
+
+// Reason explains a rolled-back or aborted rollout ("" otherwise).
+func (r *Rollout) Reason() string { return r.reason }
+
+// Stages returns the validated stage plan as cell names.
+func (r *Rollout) Stages() [][]string {
+	out := make([][]string, len(r.stages))
+	for i, batch := range r.stages {
+		out[i] = make([]string, len(batch))
+		for j, cell := range batch {
+			out[i][j] = r.c.cellName(cell)
+		}
+	}
+	return out
+}
+
+// Capsules returns the campus capsule store, creating it on first use.
+// Pre-populate it through CampusConfig.Capsules or register versions
+// directly before starting a rollout.
+func (c *Campus) Capsules() *CapsuleStore {
+	if c.capsules == nil {
+		c.capsules = NewCapsuleStore()
+	}
+	return c.capsules
+}
+
+// StartRollout begins disseminating a registered capsule version to
+// every replica of the spec's tasks, staged by the spec's strategy. The
+// returned Rollout reports progress; the rollout itself advances on the
+// campus engine. Tasks already part of an active rollout are rejected.
+func (c *Campus) StartRollout(spec RolloutSpec) (*Rollout, error) {
+	if len(spec.Tasks) == 0 {
+		return nil, fmt.Errorf("evm: rollout needs at least one task")
+	}
+	if spec.HealthWindow <= 0 {
+		spec.HealthWindow = 3 * time.Second
+	}
+	if spec.StageTimeout <= 0 {
+		spec.StageTimeout = 10 * time.Second
+	}
+	policy, err := NewRolloutPolicy(spec.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	src := 0
+	if spec.Source != "" {
+		i, ok := c.byName[spec.Source]
+		if !ok {
+			return nil, fmt.Errorf("evm: unknown source cell %q", spec.Source)
+		}
+		src = i
+	}
+	tasks := append([]string(nil), spec.Tasks...)
+	sort.Strings(tasks)
+	spec.Tasks = tasks
+	var maxPeriod time.Duration
+	capsules := make(map[string][]byte, len(tasks))
+	for _, task := range tasks {
+		key, known := c.taskKeys[task]
+		if !known {
+			return nil, fmt.Errorf("evm: rollout names unknown task %q", task)
+		}
+		if c.otaActive[task] {
+			return nil, fmt.Errorf("evm: task %q already has a rollout in flight", task)
+		}
+		cap, ok := c.Capsules().Get(task, spec.Version)
+		if !ok {
+			return nil, fmt.Errorf("evm: no capsule registered for task %q v%d", task, spec.Version)
+		}
+		enc, err := cap.Encode()
+		if err != nil {
+			return nil, err
+		}
+		capsules[task] = enc
+		if p := c.placements[key].spec.Period; p > maxPeriod {
+			maxPeriod = p
+		}
+	}
+	if spec.ActuationBound <= 0 {
+		spec.ActuationBound = 8 * maxPeriod
+		if spec.ActuationBound < 2*time.Second {
+			spec.ActuationBound = 2 * time.Second
+		}
+	}
+	// A health window that ends before ActuationBound elapses could
+	// never witness a bound-length silence: a capsule that attests
+	// cleanly but never actuates would sail through. Stretch the window
+	// past the bound so missed-actuation stays detectable.
+	if spec.HealthWindow <= spec.ActuationBound {
+		slack := maxPeriod
+		if slack <= 0 {
+			slack = 500 * time.Millisecond
+		}
+		spec.HealthWindow = spec.ActuationBound + slack
+	}
+	r := &Rollout{
+		c: c, spec: spec, policy: policy, src: src,
+		capsules:    capsules,
+		state:       RolloutRunning,
+		prevVersion: make(map[string]uint8),
+		lastAct:     make(map[string]time.Duration),
+	}
+	r.collectTargets()
+	if len(r.cellIdxs) == 0 {
+		return nil, fmt.Errorf("evm: no replica of %v found in any cell", spec.Tasks)
+	}
+	r.stages = r.validStages(policy.Stages(r.rolloutCells()))
+	if c.otaActive == nil {
+		c.otaActive = make(map[string]bool)
+	}
+	for _, task := range tasks {
+		c.otaActive[task] = true
+	}
+	c.bus().publish(RolloutEvent{
+		At: c.eng.Now(), Tasks: tasks, Version: spec.Version, Strategy: policy.Name(),
+		Phase: RolloutPhaseStart, Stage: -1, Cells: r.cellNames(r.cellIdxs),
+	})
+	r.runStage()
+	return r, nil
+}
+
+// collectTargets scans every cell for replicas of the rollout's tasks,
+// in member order so the plan is deterministic.
+func (r *Rollout) collectTargets() {
+	r.targets = make(map[int]map[string][]NodeID)
+	for i, cell := range r.c.cells {
+		byTask := make(map[string][]NodeID)
+		for _, task := range r.spec.Tasks {
+			for _, id := range cell.ids {
+				if n := cell.nodes[id]; n != nil && n.HasReplica(task) {
+					byTask[task] = append(byTask[task], id)
+				}
+			}
+		}
+		if len(byTask) > 0 {
+			r.targets[i] = byTask
+			r.cellIdxs = append(r.cellIdxs, i)
+		}
+	}
+}
+
+// rolloutCells snapshots the targeted cells for the policy request.
+func (r *Rollout) rolloutCells() []RolloutCell {
+	out := make([]RolloutCell, 0, len(r.cellIdxs))
+	for _, i := range r.cellIdxs {
+		cc := RolloutCell{Index: i, Name: r.c.cellName(i)}
+		for _, nodes := range r.targets[i] {
+			cc.Replicas += len(nodes)
+		}
+		for _, task := range r.spec.Tasks {
+			if p := r.c.placements[r.c.taskKeys[task]]; p.cell == i {
+				cc.Masters++
+			}
+		}
+		out = append(out, cc)
+	}
+	return out
+}
+
+// validStages sanitizes a policy's plan: unknown and duplicate cells are
+// dropped, cells the policy missed are appended as one final stage.
+func (r *Rollout) validStages(stages [][]int) [][]int {
+	targeted := make(map[int]bool, len(r.cellIdxs))
+	for _, i := range r.cellIdxs {
+		targeted[i] = true
+	}
+	seen := make(map[int]bool)
+	var out [][]int
+	for _, batch := range stages {
+		var keep []int
+		for _, cell := range batch {
+			if targeted[cell] && !seen[cell] {
+				seen[cell] = true
+				keep = append(keep, cell)
+			}
+		}
+		if len(keep) > 0 {
+			out = append(out, keep)
+		}
+	}
+	var missing []int
+	for _, i := range r.cellIdxs {
+		if !seen[i] {
+			missing = append(missing, i)
+		}
+	}
+	if len(missing) > 0 {
+		out = append(out, missing)
+	}
+	return out
+}
+
+func (r *Rollout) cellNames(idxs []int) []string {
+	out := make([]string, len(idxs))
+	for i, idx := range idxs {
+		out[i] = r.c.cellName(idx)
+	}
+	return out
+}
+
+// runStage opens the current stage: prepare legs to every cell of the
+// batch (local cells stage directly; remote cells over the backbone).
+// Once the planned stages are exhausted, the campus is re-scanned for
+// replicas that appeared mid-rollout before the complete verdict.
+func (r *Rollout) runStage() {
+	if r.stageIdx >= len(r.stages) {
+		if !r.addCatchUpStage() {
+			if r.state != RolloutRunning {
+				return // the catch-up cap tripped; fail() closed the rollout
+			}
+			r.finish(RolloutComplete, "")
+			r.c.bus().publish(RolloutEvent{
+				At: r.c.eng.Now(), Tasks: r.spec.Tasks, Version: r.spec.Version,
+				Strategy: r.policy.Name(), Phase: RolloutPhaseComplete, Stage: -1,
+				Cells: r.cellNames(r.cellIdxs),
+			})
+			return
+		}
+	}
+	batch := r.stages[r.stageIdx]
+	r.pendingPrepare = make(map[string]bool)
+	r.pendingCommit = make(map[string]bool)
+	for _, cell := range batch {
+		for _, task := range r.stageTasks(cell) {
+			r.pendingPrepare[pendKey(cell, task)] = true
+		}
+	}
+	r.stageTimer = r.c.eng.After(r.spec.StageTimeout, func() { r.fail("stage-timeout") })
+	for _, cell := range batch {
+		for _, task := range r.stageTasks(cell) {
+			if r.state != RolloutRunning {
+				return // a synchronous local leg already failed the stage
+			}
+			payload, err := (wire.CapsuleMsg{
+				Phase: wire.CapsulePrepare, TaskID: task,
+				Version: r.spec.Version, Capsule: r.capsules[task],
+			}).Encode()
+			if err != nil {
+				r.fail("encode")
+				return
+			}
+			if cell == r.src {
+				r.onPrepare(cell, payload)
+				continue
+			}
+			cell := cell
+			r.c.backbone.Send(r.src, cell, payload,
+				func(b []byte) { r.onPrepare(cell, b) },
+				func() { r.fail("prepare-lost") })
+		}
+	}
+}
+
+// stageTasks lists the rollout tasks hosted in a cell, sorted.
+func (r *Rollout) stageTasks(cell int) []string {
+	var out []string
+	for _, task := range r.spec.Tasks {
+		if len(r.targets[cell][task]) > 0 {
+			out = append(out, task)
+		}
+	}
+	return out
+}
+
+func pendKey(cell int, task string) string { return fmt.Sprintf("%d/%s", cell, task) }
+
+func nodeKey(cell int, node NodeID, task string) string {
+	return fmt.Sprintf("%d/%d/%s", cell, node, task)
+}
+
+// catchUpRounds bounds how many post-plan rescans a rollout runs before
+// concluding the placement is diverging faster than it can upgrade.
+const catchUpRounds = 3
+
+// addCatchUpStage re-scans every cell after the planned stages finish:
+// a replica of a target task created mid-rollout — cross-cell
+// escalation, homeward rebalance, in-cell migration to a spare — was
+// not in the start-of-rollout snapshot and would otherwise keep running
+// the old version past a "complete" verdict. Each straggler joins one
+// more stage (its own prepare/commit and health window); replicas that
+// already carry the target version (a post-upgrade migration ships code
+// with state) are skipped, so a later rollback can never "revert" one
+// onto the new version. If stragglers keep appearing past
+// catchUpRounds, the rollout fails — activated stages roll back —
+// rather than completing with mixed versions.
+func (r *Rollout) addCatchUpStage() bool {
+	upgraded := make(map[string]bool, len(r.activated))
+	for _, a := range r.activated {
+		upgraded[nodeKey(a.cell, a.node, a.task)] = true
+	}
+	extra := make(map[int]map[string][]NodeID)
+	for i, cell := range r.c.cells {
+		for _, task := range r.spec.Tasks {
+			for _, id := range cell.ids {
+				n := cell.nodes[id]
+				if n == nil || !n.HasReplica(task) || upgraded[nodeKey(i, id, task)] {
+					continue
+				}
+				if v, ok := n.CapsuleVersion(task); ok && v == r.spec.Version {
+					continue
+				}
+				if extra[i] == nil {
+					extra[i] = make(map[string][]NodeID)
+				}
+				extra[i][task] = append(extra[i][task], id)
+			}
+		}
+	}
+	if len(extra) == 0 {
+		return false
+	}
+	if r.catchUps >= catchUpRounds {
+		r.fail("targets-diverged")
+		return false
+	}
+	r.catchUps++
+	batch := make([]int, 0, len(extra))
+	for i := range extra {
+		batch = append(batch, i)
+	}
+	sort.Ints(batch)
+	known := make(map[int]bool, len(r.cellIdxs))
+	for _, i := range r.cellIdxs {
+		known[i] = true
+	}
+	for _, i := range batch {
+		// The catch-up stage targets only the stragglers; the cell's
+		// original holders are already activated (rollback tracks them
+		// through r.activated, not r.targets).
+		r.targets[i] = extra[i]
+		if !known[i] {
+			r.cellIdxs = append(r.cellIdxs, i)
+		}
+	}
+	sort.Ints(r.cellIdxs)
+	r.stages = append(r.stages, batch)
+	return true
+}
+
+// onPrepare lands one prepare leg in a hosting cell: attest the capsule
+// (vm.Decode verifies the checksum) and stage it on every replica
+// holder. Holders retired since the start-of-rollout snapshot (a
+// rebalance or migration moved the replica away) are dropped from the
+// target list — the catch-up rescan finds wherever the replica went —
+// but an attestation or staging failure on a live holder aborts the
+// rollout: a cell must never commit with only part of its replicas
+// staged.
+func (r *Rollout) onPrepare(cell int, payload []byte) {
+	if r.state != RolloutRunning {
+		return // stale leg of an aborted rollout
+	}
+	msg, err := wire.DecodeCapsuleMsg(payload)
+	if err != nil || msg.Phase != wire.CapsulePrepare {
+		r.fail("decode")
+		return
+	}
+	capsule, err := vm.Decode(msg.Capsule)
+	if err != nil {
+		r.fail("attestation")
+		return
+	}
+	var live []NodeID
+	for _, id := range r.targets[cell][msg.TaskID] {
+		node := r.c.cells[cell].nodes[id]
+		if node == nil || !node.HasReplica(msg.TaskID) {
+			continue // retired mid-rollout; not this cell's to upgrade
+		}
+		err := node.StageCapsule(capsule)
+		r.c.bus().publish(CapsuleDeliveryEvent{
+			At: r.c.eng.Now(), Cell: r.c.cellName(cell), Node: id,
+			Task: msg.TaskID, Version: msg.Version, OK: err == nil,
+		})
+		if err != nil {
+			r.fail("admit")
+			return
+		}
+		live = append(live, id)
+	}
+	r.targets[cell][msg.TaskID] = live
+	delete(r.pendingPrepare, pendKey(cell, msg.TaskID))
+	if len(r.pendingPrepare) == 0 {
+		r.commitStage()
+	}
+}
+
+// commitStage sends the commit legs once every cell of the stage is
+// fully staged.
+func (r *Rollout) commitStage() {
+	batch := r.stages[r.stageIdx]
+	r.c.bus().publish(RolloutEvent{
+		At: r.c.eng.Now(), Tasks: r.spec.Tasks, Version: r.spec.Version,
+		Strategy: r.policy.Name(), Phase: RolloutPhaseStaged,
+		Stage: r.stageIdx, Cells: r.cellNames(batch),
+	})
+	for _, cell := range batch {
+		for _, task := range r.stageTasks(cell) {
+			r.pendingCommit[pendKey(cell, task)] = true
+		}
+	}
+	if len(r.pendingCommit) == 0 {
+		// Every holder in the batch vanished mid-rollout (rebalanced or
+		// migrated away): nothing to activate here — the catch-up rescan
+		// finds wherever the replicas went.
+		r.c.eng.Cancel(r.stageTimer)
+		r.stageIdx++
+		r.runStage()
+		return
+	}
+	for _, cell := range batch {
+		for _, task := range r.stageTasks(cell) {
+			if r.state != RolloutRunning {
+				return // a synchronous local leg already failed the stage
+			}
+			payload, err := (wire.CapsuleMsg{
+				Phase: wire.CapsuleCommit, TaskID: task, Version: r.spec.Version,
+			}).Encode()
+			if err != nil {
+				r.fail("encode")
+				return
+			}
+			if cell == r.src {
+				r.onCommit(cell, payload)
+				continue
+			}
+			cell := cell
+			r.c.backbone.Send(r.src, cell, payload,
+				func(b []byte) { r.onCommit(cell, b) },
+				func() { r.fail("commit-lost") })
+		}
+	}
+}
+
+// onCommit lands one commit leg: every staged replica in the cell swaps
+// to the new version at this instant, so the task's master and backups
+// never run mixed versions past the commit point.
+func (r *Rollout) onCommit(cell int, payload []byte) {
+	if r.state != RolloutRunning {
+		return
+	}
+	msg, err := wire.DecodeCapsuleMsg(payload)
+	if err != nil || msg.Phase != wire.CapsuleCommit {
+		r.fail("decode")
+		return
+	}
+	for _, id := range r.targets[cell][msg.TaskID] {
+		node := r.c.cells[cell].nodes[id]
+		if node == nil || !node.HasReplica(msg.TaskID) {
+			continue // retired between prepare and commit
+		}
+		if _, recorded := r.prevVersion[msg.TaskID]; !recorded {
+			v, _ := node.CapsuleVersion(msg.TaskID)
+			r.prevVersion[msg.TaskID] = v
+		}
+		if err := node.ActivateStaged(msg.TaskID); err != nil {
+			r.fail("activate")
+			return
+		}
+		r.activated = append(r.activated, rolloutActivation{cell: cell, node: id, task: msg.TaskID})
+	}
+	delete(r.pendingCommit, pendKey(cell, msg.TaskID))
+	if len(r.pendingCommit) == 0 {
+		r.c.eng.Cancel(r.stageTimer)
+		r.c.bus().publish(RolloutEvent{
+			At: r.c.eng.Now(), Tasks: r.spec.Tasks, Version: r.spec.Version,
+			Strategy: r.policy.Name(), Phase: RolloutPhaseActivated,
+			Stage: r.stageIdx, Cells: r.cellNames(r.stages[r.stageIdx]),
+		})
+		r.startHealthWindow()
+	}
+}
+
+// startHealthWindow observes the campus for HealthWindow after a stage
+// activates: the spec's invariant checkers replay the live stream and
+// every target task's actuations are timestamped.
+func (r *Rollout) startHealthWindow() {
+	if r.spec.Checkers != nil {
+		r.checkers = r.spec.Checkers()
+	} else {
+		r.checkers = []InvariantChecker{
+			NewSingleMasterInvariant(0),
+			NewDemotedSilenceInvariant(0),
+			NewActuationDeadlineInvariant(r.spec.ActuationBound),
+		}
+	}
+	r.healthStart = r.c.eng.Now()
+	r.lastAct = make(map[string]time.Duration)
+	watched := make(map[string]bool, len(r.spec.Tasks))
+	for _, task := range r.spec.Tasks {
+		watched[task] = true
+	}
+	r.healthSub = r.c.bus().Subscribe(func(ev Event) {
+		for _, ch := range r.checkers {
+			ch.Observe(ev)
+		}
+		_, inner := splitEvent(ev)
+		if act, ok := inner.(ActuationEvent); ok && watched[act.Task] {
+			r.lastAct[act.Task] = act.At
+		}
+	})
+	r.healthTimer = r.c.eng.After(r.spec.HealthWindow, r.evaluateHealth)
+}
+
+// evaluateHealth closes a stage's health window: an invariant violation
+// or a target task silent past ActuationBound rolls the whole rollout
+// back; otherwise the next stage begins.
+func (r *Rollout) evaluateHealth() {
+	r.healthSub.Cancel()
+	r.healthSub = nil
+	now := r.c.eng.Now()
+	for _, ch := range r.checkers {
+		if vs := ch.Violations(); len(vs) > 0 {
+			r.rollback(fmt.Sprintf("invariant:%s", vs[0].Checker))
+			return
+		}
+	}
+	for _, task := range r.spec.Tasks {
+		ref := r.healthStart
+		if at, ok := r.lastAct[task]; ok && at > ref {
+			ref = at
+		}
+		if now-ref > r.spec.ActuationBound {
+			r.rollback("missed-actuation:" + task)
+			return
+		}
+	}
+	r.stageIdx++
+	r.runStage()
+}
+
+// fail aborts the rollout mid-handshake. Stages already activated are
+// rolled back so the campus never settles on a mix of versions; a
+// failure before any activation just clears the staged capsules.
+func (r *Rollout) fail(reason string) {
+	if r.state != RolloutRunning {
+		return
+	}
+	if len(r.activated) > 0 {
+		r.rollback(reason)
+		return
+	}
+	r.finish(RolloutAborted, reason)
+	r.c.bus().publish(RolloutEvent{
+		At: r.c.eng.Now(), Tasks: r.spec.Tasks, Version: r.spec.Version,
+		Strategy: r.policy.Name(), Phase: RolloutPhaseAborted, Stage: r.stageIdx,
+		Cells: r.cellNames(r.cellIdxs), Reason: reason,
+	})
+}
+
+// rollback reverts every activated replica to its prior version and
+// publishes one RollbackEvent per task, then closes the rollout.
+func (r *Rollout) rollback(reason string) {
+	cellsByTask := make(map[string][]string)
+	for _, a := range r.activated {
+		_ = r.c.cells[a.cell].nodes[a.node].RevertCapsule(a.task)
+		name := r.c.cellName(a.cell)
+		cells := cellsByTask[a.task]
+		if len(cells) == 0 || cells[len(cells)-1] != name {
+			cellsByTask[a.task] = append(cells, name)
+		}
+	}
+	r.finish(RolloutRolledBack, reason)
+	for _, task := range r.spec.Tasks {
+		cells, was := cellsByTask[task]
+		if !was {
+			continue
+		}
+		r.c.bus().publish(RollbackEvent{
+			At: r.c.eng.Now(), Task: task, FromVersion: r.spec.Version,
+			ToVersion: r.prevVersion[task], Reason: reason, Cells: cells,
+		})
+	}
+	r.c.bus().publish(RolloutEvent{
+		At: r.c.eng.Now(), Tasks: r.spec.Tasks, Version: r.spec.Version,
+		Strategy: r.policy.Name(), Phase: RolloutPhaseRolledBack, Stage: r.stageIdx,
+		Cells: r.cellNames(r.cellIdxs), Reason: reason,
+	})
+}
+
+// finish releases the rollout's timers, subscriptions, staged capsules
+// and task locks.
+func (r *Rollout) finish(state RolloutState, reason string) {
+	r.state = state
+	r.reason = reason
+	if r.stageTimer != nil {
+		r.c.eng.Cancel(r.stageTimer)
+	}
+	if r.healthTimer != nil {
+		r.c.eng.Cancel(r.healthTimer)
+	}
+	if r.healthSub != nil {
+		r.healthSub.Cancel()
+		r.healthSub = nil
+	}
+	for _, cell := range r.cellIdxs {
+		for task, nodes := range r.targets[cell] {
+			for _, id := range nodes {
+				r.c.cells[cell].nodes[id].ClearStaged(task)
+			}
+		}
+	}
+	for _, task := range r.spec.Tasks {
+		delete(r.c.otaActive, task)
+	}
+}
+
+// --- OTA events ---------------------------------------------------------------
+
+// RolloutPhase classifies a RolloutEvent.
+type RolloutPhase string
+
+// Rollout phases.
+const (
+	RolloutPhaseStart      RolloutPhase = "start"
+	RolloutPhaseStaged     RolloutPhase = "staged"
+	RolloutPhaseActivated  RolloutPhase = "activated"
+	RolloutPhaseComplete   RolloutPhase = "complete"
+	RolloutPhaseAborted    RolloutPhase = "aborted"
+	RolloutPhaseRolledBack RolloutPhase = "rolled-back"
+)
+
+// RolloutEvent traces one campus rollout: start, each stage's staged and
+// activated transitions, and the terminal phase — complete, aborted
+// (nothing had activated) or rolled-back (activated replicas reverted;
+// the per-task detail rides the accompanying RollbackEvents). Stage is
+// -1 for rollout-scoped phases.
+type RolloutEvent struct {
+	At       time.Duration
+	Tasks    []string
+	Version  uint8
+	Strategy string
+	Phase    RolloutPhase
+	Stage    int
+	Cells    []string
+	Reason   string
+}
+
+// When implements Event.
+func (e RolloutEvent) When() time.Duration { return e.At }
+
+// String implements Event.
+func (e RolloutEvent) String() string {
+	s := fmt.Sprintf("%v rollout phase=%s tasks=%s v=%d strategy=%s stage=%d cells=%s",
+		e.At, e.Phase, strings.Join(e.Tasks, "+"), e.Version, e.Strategy,
+		e.Stage, strings.Join(e.Cells, "+"))
+	if e.Reason != "" {
+		s += " reason=" + e.Reason
+	}
+	return s
+}
+
+// CapsuleDeliveryEvent fires once per replica holder when a rollout's
+// prepare leg stages a capsule on it (OK=false when attested code failed
+// to instantiate or the node refused it).
+type CapsuleDeliveryEvent struct {
+	At      time.Duration
+	Cell    string
+	Node    NodeID
+	Task    string
+	Version uint8
+	OK      bool
+}
+
+// When implements Event.
+func (e CapsuleDeliveryEvent) When() time.Duration { return e.At }
+
+// String implements Event.
+func (e CapsuleDeliveryEvent) String() string {
+	return fmt.Sprintf("%v capsule-delivery cell=%s node=%d task=%s v=%d ok=%t",
+		e.At, e.Cell, e.Node, e.Task, e.Version, e.OK)
+}
+
+// RollbackEvent fires when a rollout's health window trips (or a later
+// stage fails) and a task's replicas revert to the prior version.
+type RollbackEvent struct {
+	At          time.Duration
+	Task        string
+	FromVersion uint8
+	ToVersion   uint8
+	Reason      string
+	Cells       []string
+}
+
+// When implements Event.
+func (e RollbackEvent) When() time.Duration { return e.At }
+
+// String implements Event.
+func (e RollbackEvent) String() string {
+	return fmt.Sprintf("%v rollback task=%s from=v%d to=v%d cells=%s reason=%s",
+		e.At, e.Task, e.FromVersion, e.ToVersion, strings.Join(e.Cells, "+"), e.Reason)
+}

@@ -52,6 +52,21 @@ const (
 	// MetricBackboneReroutes counts retransmissions that picked a new
 	// path because the link set changed mid-transfer.
 	MetricBackboneReroutes = "backbone_reroutes"
+	// MetricRollouts counts OTA rollouts started (RolloutEvent start
+	// phases).
+	MetricRollouts = "rollouts"
+	// MetricRollbacks counts per-task OTA rollbacks (health-window trips
+	// and mid-rollout failures reverting to the prior capsule version).
+	MetricRollbacks = "rollbacks"
+	// MetricCapsuleFrames counts per-replica capsule deliveries staged by
+	// rollout prepare legs.
+	MetricCapsuleFrames = "capsule_frames"
+	// MetricRebalanceAborts counts aborted prepare/commit rebalance
+	// handshakes (the foreign master kept the task).
+	MetricRebalanceAborts = "rebalance_aborts"
+	// MetricModeChanges counts synchronized mode switches issued by
+	// component heads.
+	MetricModeChanges = "mode_changes"
 )
 
 // Runner executes a grid of RunSpecs across worker goroutines. Every
@@ -137,6 +152,11 @@ func (r *Runner) runOne(spec RunSpec) RunResult {
 		MetricCellRecoveries:      0,
 		MetricBackboneLinkFaults:  0,
 		MetricBackboneReroutes:    0,
+		MetricRollouts:            0,
+		MetricRollbacks:           0,
+		MetricCapsuleFrames:       0,
+		MetricRebalanceAborts:     0,
+		MetricModeChanges:         0,
 	}
 	firstFailover := time.Duration(-1)
 	sub := bus.Subscribe(func(ev Event) {
@@ -164,6 +184,18 @@ func (r *Runner) runOne(spec RunSpec) RunResult {
 			counts[MetricCellOverloads]++
 		case CellRecoveredEvent:
 			counts[MetricCellRecoveries]++
+		case RolloutEvent:
+			if ev.(RolloutEvent).Phase == RolloutPhaseStart {
+				counts[MetricRollouts]++
+			}
+		case RollbackEvent:
+			counts[MetricRollbacks]++
+		case CapsuleDeliveryEvent:
+			counts[MetricCapsuleFrames]++
+		case RebalanceAbortEvent:
+			counts[MetricRebalanceAborts]++
+		case ModeChangeEvent:
+			counts[MetricModeChanges]++
 		case BackboneLinkEvent:
 			if !ev.(BackboneLinkEvent).Up {
 				counts[MetricBackboneLinkFaults]++
