@@ -753,7 +753,9 @@ func otaRollouts() error {
 // trendTable reads every BENCH_pr*.json artifact in dir and prints one
 // row per benchmark with its ns/op across PRs — the cross-PR performance
 // trend (CI emits one artifact per PR; collect them into a directory and
-// run `evmbench -trend <dir>`).
+// run `evmbench -trend <dir>`). Artifacts recorded with -benchmem carry
+// allocation counts too; when any artifact has them, a second table with
+// allocs/op columns follows the timing table.
 func trendTable(dir string) error {
 	files, err := filepath.Glob(filepath.Join(dir, "BENCH_pr*.json"))
 	if err != nil {
@@ -762,16 +764,20 @@ func trendTable(dir string) error {
 	if len(files) == 0 {
 		return fmt.Errorf("no BENCH_pr*.json artifacts in %s", dir)
 	}
-	type artifact struct {
-		PR         int `json:"pr"`
-		Benchmarks []struct {
-			Name    string  `json:"name"`
-			NsPerOp float64 `json:"ns_per_op"`
-		} `json:"benchmarks"`
+	type benchRow struct {
+		Name        string  `json:"name"`
+		NsPerOp     float64 `json:"ns_per_op"`
+		AllocsPerOp float64 `json:"allocs/op"`
+		BytesPerOp  float64 `json:"B/op"`
 	}
-	perPR := make(map[int]map[string]float64)
+	type artifact struct {
+		PR         int        `json:"pr"`
+		Benchmarks []benchRow `json:"benchmarks"`
+	}
+	perPR := make(map[int]map[string]benchRow)
 	names := make(map[string]bool)
 	var prs []int
+	haveAllocs := make(map[int]bool)
 	for _, f := range files {
 		data, err := os.ReadFile(f)
 		if err != nil {
@@ -784,10 +790,13 @@ func trendTable(dir string) error {
 		if _, dup := perPR[a.PR]; dup {
 			return fmt.Errorf("duplicate artifact for PR %d", a.PR)
 		}
-		rows := make(map[string]float64, len(a.Benchmarks))
+		rows := make(map[string]benchRow, len(a.Benchmarks))
 		for _, bm := range a.Benchmarks {
-			rows[bm.Name] = bm.NsPerOp
+			rows[bm.Name] = bm
 			names[bm.Name] = true
+			if bm.AllocsPerOp > 0 || bm.BytesPerOp > 0 {
+				haveAllocs[a.PR] = true
+			}
 		}
 		perPR[a.PR] = rows
 		prs = append(prs, a.PR)
@@ -806,8 +815,36 @@ func trendTable(dir string) error {
 	for _, name := range sorted {
 		fmt.Printf("%-40s", name)
 		for _, pr := range prs {
-			if ns, ok := perPR[pr][name]; ok {
-				fmt.Printf("  %10.3f", ns/1e6)
+			if bm, ok := perPR[pr][name]; ok {
+				fmt.Printf("  %10.3f", bm.NsPerOp/1e6)
+			} else {
+				fmt.Printf("  %10s", "-")
+			}
+		}
+		fmt.Println()
+	}
+	if len(haveAllocs) == 0 {
+		return nil
+	}
+	// Allocation table: only PRs benchmarked with -benchmem get a column;
+	// earlier artifacts predate alloc recording and stay timing-only.
+	var allocPRs []int
+	for _, pr := range prs {
+		if haveAllocs[pr] {
+			allocPRs = append(allocPRs, pr)
+		}
+	}
+	fmt.Println()
+	fmt.Printf("%-40s", "benchmark (allocs/op)")
+	for _, pr := range allocPRs {
+		fmt.Printf("  %10s", fmt.Sprintf("pr%d", pr))
+	}
+	fmt.Println()
+	for _, name := range sorted {
+		fmt.Printf("%-40s", name)
+		for _, pr := range allocPRs {
+			if bm, ok := perPR[pr][name]; ok && (bm.AllocsPerOp > 0 || bm.BytesPerOp > 0) {
+				fmt.Printf("  %10.0f", bm.AllocsPerOp)
 			} else {
 				fmt.Printf("  %10s", "-")
 			}

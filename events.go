@@ -277,17 +277,20 @@ func (l *EventLog) Recorder() *trace.Recorder {
 	rec := trace.NewRecorder()
 	counts := make(map[string]float64)
 	for _, ev := range l.events {
-		name := eventSeriesName(ev)
+		name := SeriesName(ev)
 		counts[name]++
 		rec.Series(name).Add(ev.When(), counts[name])
 	}
 	return rec
 }
 
-// eventSeriesName maps an event to its Recorder series.
-func eventSeriesName(ev Event) string {
+// SeriesName maps an event to its stable telemetry series name — the
+// same key used by EventLog.Recorder CSV columns, Runner metrics and
+// evmd's flat telemetry samples. Campus streams are named by their inner
+// event type (CellEvent unwrapped).
+func SeriesName(ev Event) string {
 	if ce, ok := ev.(CellEvent); ok {
-		return eventSeriesName(ce.Inner)
+		return SeriesName(ce.Inner)
 	}
 	switch ev.(type) {
 	case FailoverEvent:

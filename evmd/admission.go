@@ -1,0 +1,141 @@
+package evmd
+
+import "sync"
+
+// fairQueue is the admission layer: a bounded multi-tenant queue drained
+// round-robin across tenants, so one tenant's burst of a thousand
+// submissions cannot starve another tenant's single run. Within a tenant,
+// runs dispatch FIFO. The total bound produces backpressure (ErrQueueFull
+// -> HTTP 429); the per-tenant bound caps any one tenant's share.
+type fairQueue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	// perTenant holds each tenant's FIFO of queued runs.
+	perTenant map[string][]*Run
+	// ring lists tenants with queued work in round-robin order; next
+	// indexes the tenant to serve first on the next pop.
+	ring []string
+	next int
+
+	depth       int
+	peak        int
+	bound       int
+	tenantBound int
+	closed      bool
+}
+
+func newFairQueue(bound, tenantBound int) *fairQueue {
+	q := &fairQueue{
+		perTenant:   make(map[string][]*Run),
+		bound:       bound,
+		tenantBound: tenantBound,
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// pushAll admits every run or none: the whole batch is rejected when the
+// queue (or the batch tenant's share) cannot hold it.
+func (q *fairQueue) pushAll(runs []*Run) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrDraining
+	}
+	if q.depth+len(runs) > q.bound {
+		return ErrQueueFull
+	}
+	perTenant := make(map[string]int)
+	for _, run := range runs {
+		perTenant[run.Tenant]++
+	}
+	for tenant, n := range perTenant {
+		if len(q.perTenant[tenant])+n > q.tenantBound {
+			return ErrQueueFull
+		}
+	}
+	for _, run := range runs {
+		if len(q.perTenant[run.Tenant]) == 0 {
+			q.ring = append(q.ring, run.Tenant)
+		}
+		q.perTenant[run.Tenant] = append(q.perTenant[run.Tenant], run)
+		q.depth++
+	}
+	if q.depth > q.peak {
+		q.peak = q.depth
+	}
+	q.cond.Broadcast()
+	return nil
+}
+
+// pop blocks until a run is available and returns the next one by
+// tenant round-robin. It returns false once the queue is closed (closing
+// discards queued runs, so there is nothing left to drain).
+func (q *fairQueue) pop() (*Run, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.closed {
+			return nil, false
+		}
+		if q.depth > 0 {
+			break
+		}
+		q.cond.Wait()
+	}
+	if q.next >= len(q.ring) {
+		q.next = 0
+	}
+	tenant := q.ring[q.next]
+	fifo := q.perTenant[tenant]
+	run := fifo[0]
+	fifo = fifo[1:]
+	q.depth--
+	if len(fifo) == 0 {
+		delete(q.perTenant, tenant)
+		q.ring = append(q.ring[:q.next], q.ring[q.next+1:]...)
+		// next now indexes the following tenant already; wrap via the
+		// check at the top of the next pop.
+	} else {
+		q.perTenant[tenant] = fifo
+		q.next++
+	}
+	return run, true
+}
+
+// close stops the queue and returns every still-queued run (for the
+// caller to mark cancelled). Blocked pops return false.
+func (q *fairQueue) close() []*Run {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil
+	}
+	q.closed = true
+	var orphans []*Run
+	for q.depth > 0 {
+		if q.next >= len(q.ring) {
+			q.next = 0
+		}
+		tenant := q.ring[q.next]
+		fifo := q.perTenant[tenant]
+		orphans = append(orphans, fifo[0])
+		if len(fifo) == 1 {
+			delete(q.perTenant, tenant)
+			q.ring = append(q.ring[:q.next], q.ring[q.next+1:]...)
+		} else {
+			q.perTenant[tenant] = fifo[1:]
+			q.next++
+		}
+		q.depth--
+	}
+	q.cond.Broadcast()
+	return orphans
+}
+
+// depths returns the current and peak queue depth.
+func (q *fairQueue) depths() (depth, peak int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.depth, q.peak
+}

@@ -1,0 +1,519 @@
+// Package evmd is the campus-as-a-service daemon: a long-running,
+// multi-tenant front end over the evm library. Tenants submit scenario
+// runs over HTTP (POST /v1/runs); an admission-controlled worker pool
+// executes them through the existing evm.Runner one spec at a time, so
+// every run keeps the library's per-run RNG/engine isolation and its
+// byte-identical-per-seed event stream — concurrency changes throughput,
+// never results. Each run's typed event bus is re-published as a
+// streaming subscription (SSE or NDJSON) and as flat, CSV/TSDB-friendly
+// telemetry samples; per-run and per-tenant status snapshots round out
+// the observation surface.
+package evmd
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"evm"
+)
+
+// Config parameterizes the daemon.
+type Config struct {
+	// Workers bounds run concurrency (default: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the admission queue across all tenants; further
+	// submissions are rejected with backpressure (HTTP 429). Default 1024.
+	QueueDepth int
+	// TenantQueueDepth bounds one tenant's share of the queue so a noisy
+	// tenant cannot occupy it wholesale (default: QueueDepth, i.e. off).
+	TenantQueueDepth int
+	// EventDir, when non-empty, flushes every run's event log as a CSV
+	// under <EventDir>/<runID>/ (the Runner's per-run recorder output).
+	EventDir string
+	// DrainTimeout bounds Drain when the caller passes zero (default 30s).
+	DrainTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.TenantQueueDepth <= 0 || c.TenantQueueDepth > c.QueueDepth {
+		c.TenantQueueDepth = c.QueueDepth
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// RunState is a run's lifecycle phase.
+type RunState string
+
+// Run lifecycle states.
+const (
+	RunQueued    RunState = "queued"
+	RunRunning   RunState = "running"
+	RunDone      RunState = "done"
+	RunFailed    RunState = "failed"
+	RunCancelled RunState = "cancelled"
+)
+
+// Run is one admitted submission. Mutable fields are guarded by mu; the
+// identity fields (ID, Tenant, Spec) are immutable after admission.
+type Run struct {
+	ID     string
+	Tenant string
+	Spec   evm.RunSpec
+
+	stream *stream
+
+	mu          sync.Mutex
+	state       RunState
+	submittedAt time.Time
+	startedAt   time.Time
+	finishedAt  time.Time
+	cells       []CellStatus
+	metrics     map[string]float64
+	err         string
+}
+
+// CellStatus is one row of a run's NodeStatus-style cell table.
+type CellStatus struct {
+	Cell    string `json:"cell"`
+	Members int    `json:"members"`
+	Nodes   int    `json:"nodes"`
+}
+
+// RunStatus is the wire snapshot of a run (GET /v1/runs/{id}).
+type RunStatus struct {
+	ID          string             `json:"id"`
+	Tenant      string             `json:"tenant"`
+	Scenario    string             `json:"scenario"`
+	Seed        uint64             `json:"seed"`
+	Label       string             `json:"label"`
+	State       RunState           `json:"state"`
+	SubmittedAt time.Time          `json:"submitted_at"`
+	StartedAt   *time.Time         `json:"started_at,omitempty"`
+	FinishedAt  *time.Time         `json:"finished_at,omitempty"`
+	QueueWaitMS float64            `json:"queue_wait_ms"`
+	WallMS      float64            `json:"wall_ms"`
+	Events      int                `json:"events"`
+	Samples     int                `json:"samples"`
+	Cells       []CellStatus       `json:"cells,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+	Error       string             `json:"error,omitempty"`
+}
+
+func (r *Run) snapshot() RunStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := RunStatus{
+		ID:          r.ID,
+		Tenant:      r.Tenant,
+		Scenario:    r.Spec.Scenario,
+		Seed:        r.Spec.Seed,
+		Label:       r.Spec.Label(),
+		State:       r.state,
+		SubmittedAt: r.submittedAt,
+		Cells:       append([]CellStatus(nil), r.cells...),
+		Error:       r.err,
+	}
+	if !r.startedAt.IsZero() {
+		t := r.startedAt
+		st.StartedAt = &t
+		st.QueueWaitMS = float64(r.startedAt.Sub(r.submittedAt)) / float64(time.Millisecond)
+	}
+	if !r.finishedAt.IsZero() {
+		t := r.finishedAt
+		st.FinishedAt = &t
+		st.WallMS = float64(r.finishedAt.Sub(r.startedAt)) / float64(time.Millisecond)
+	}
+	if r.metrics != nil {
+		st.Metrics = make(map[string]float64, len(r.metrics))
+		for k, v := range r.metrics {
+			st.Metrics[k] = v
+		}
+	}
+	st.Events, st.Samples = r.stream.lens()
+	return st
+}
+
+// State returns the run's current lifecycle state.
+func (r *Run) State() RunState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state
+}
+
+// Stats is the daemon-wide counter snapshot (GET /v1/stats).
+type Stats struct {
+	Workers             int   `json:"workers"`
+	QueueDepth          int   `json:"queue_depth"`
+	PeakQueueDepth      int   `json:"peak_queue_depth"`
+	QueueBound          int   `json:"queue_bound"`
+	Running             int   `json:"running"`
+	Accepted            int64 `json:"accepted"`
+	RejectedBackpressur int64 `json:"rejected_backpressure"`
+	RejectedDraining    int64 `json:"rejected_draining"`
+	Completed           int64 `json:"completed"`
+	Failed              int64 `json:"failed"`
+	Cancelled           int64 `json:"cancelled"`
+	Draining            bool  `json:"draining"`
+}
+
+// Server owns the tenant fleet: the run table, the fair admission queue
+// and the worker pool. Create one with NewServer and mount Handler on an
+// http.Server; call Drain on shutdown.
+type Server struct {
+	cfg   Config
+	queue *fairQueue
+
+	mu      sync.Mutex
+	seq     int
+	runs    map[string]*Run
+	order   []string // run IDs in admission order
+	tenants map[string][]*Run
+
+	running  atomic.Int64
+	accepted atomic.Int64
+	rejected atomic.Int64 // backpressure
+	refused  atomic.Int64 // draining
+	done     atomic.Int64
+	failed   atomic.Int64
+	cancels  atomic.Int64
+	draining atomic.Bool
+
+	workers sync.WaitGroup
+}
+
+// NewServer builds the daemon and starts its worker pool.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		queue:   newFairQueue(cfg.QueueDepth, cfg.TenantQueueDepth),
+		runs:    make(map[string]*Run),
+		tenants: make(map[string][]*Run),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go func() {
+			defer s.workers.Done()
+			for {
+				run, ok := s.queue.pop()
+				if !ok {
+					return
+				}
+				s.execute(run)
+			}
+		}()
+	}
+	return s
+}
+
+// Admission errors surfaced to the HTTP layer.
+var (
+	// ErrQueueFull is backpressure: the admission queue (or the tenant's
+	// share of it) is at its bound.
+	ErrQueueFull = errors.New("evmd: admission queue full")
+	// ErrDraining means the daemon is shutting down and refuses new work.
+	ErrDraining = errors.New("evmd: draining, not accepting submissions")
+)
+
+// Submit admits one run per spec, all under the same tenant, atomically:
+// either every spec is queued or none is (ErrQueueFull/ErrDraining).
+// Scenario names are validated against the registry before admission.
+func (s *Server) Submit(tenant string, specs ...evm.RunSpec) ([]*Run, error) {
+	if tenant == "" {
+		tenant = "default"
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("evmd: submission carries no specs")
+	}
+	if s.draining.Load() {
+		s.refused.Add(int64(len(specs)))
+		return nil, ErrDraining
+	}
+	known := make(map[string]bool)
+	for _, name := range evm.Scenarios() {
+		known[name] = true
+	}
+	for _, spec := range specs {
+		if !known[spec.Scenario] {
+			return nil, fmt.Errorf("evmd: unknown scenario %q", spec.Scenario)
+		}
+	}
+	now := time.Now()
+	s.mu.Lock()
+	runs := make([]*Run, len(specs))
+	for i, spec := range specs {
+		s.seq++
+		runs[i] = &Run{
+			ID:          fmt.Sprintf("r-%06d", s.seq),
+			Tenant:      tenant,
+			Spec:        spec,
+			state:       RunQueued,
+			submittedAt: now,
+			stream:      newStream(),
+		}
+	}
+	s.mu.Unlock()
+	if err := s.queue.pushAll(runs); err != nil {
+		if errors.Is(err, ErrQueueFull) {
+			s.rejected.Add(int64(len(specs)))
+		} else {
+			s.refused.Add(int64(len(specs)))
+		}
+		return nil, err
+	}
+	s.mu.Lock()
+	for _, run := range runs {
+		s.runs[run.ID] = run
+		s.order = append(s.order, run.ID)
+		s.tenants[tenant] = append(s.tenants[tenant], run)
+	}
+	s.mu.Unlock()
+	s.accepted.Add(int64(len(specs)))
+	return runs, nil
+}
+
+// execute runs one admitted submission on the calling worker goroutine.
+func (s *Server) execute(run *Run) {
+	s.running.Add(1)
+	defer s.running.Add(-1)
+	run.mu.Lock()
+	run.state = RunRunning
+	run.startedAt = time.Now()
+	run.mu.Unlock()
+
+	runner := &evm.Runner{
+		Workers: 1,
+		Instrument: func(spec evm.RunSpec, exp *evm.Experiment) func(map[string]float64) {
+			var bus *evm.Bus
+			var now func() time.Duration
+			var cells []CellStatus
+			if exp.Campus != nil {
+				bus, now = exp.Campus.Events(), exp.Campus.Now
+				for _, c := range exp.Campus.Cells() {
+					cells = append(cells, CellStatus{Cell: c.Name(), Members: len(c.Members()), Nodes: len(c.Nodes())})
+				}
+			} else {
+				bus, now = exp.Cell.Events(), exp.Cell.Now
+				name := exp.Cell.Name()
+				if name == "" {
+					name = "cell"
+				}
+				cells = []CellStatus{{Cell: name, Members: len(exp.Cell.Members()), Nodes: len(exp.Cell.Nodes())}}
+			}
+			run.mu.Lock()
+			run.cells = cells
+			run.mu.Unlock()
+			sub := bus.Subscribe(func(ev evm.Event) { run.stream.observe(run, ev) })
+			return func(metrics map[string]float64) {
+				sub.Cancel()
+				run.stream.finalize(run, now(), metrics)
+			}
+		},
+	}
+	if s.cfg.EventDir != "" {
+		dir := filepath.Join(s.cfg.EventDir, run.ID)
+		if err := os.MkdirAll(dir, 0o755); err == nil {
+			runner.EventDir = dir
+		}
+	}
+	res := runner.RunOne(run.Spec)
+
+	run.mu.Lock()
+	run.finishedAt = time.Now()
+	run.metrics = res.Metrics
+	if res.Err != nil {
+		run.state = RunFailed
+		run.err = res.Err.Error()
+	} else {
+		run.state = RunDone
+	}
+	run.mu.Unlock()
+	run.stream.close()
+	if res.Err != nil {
+		s.failed.Add(1)
+	} else {
+		s.done.Add(1)
+	}
+}
+
+// Run returns the run record by ID (nil when unknown).
+func (s *Server) Run(id string) *Run {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.runs[id]
+}
+
+// Runs returns every run snapshot in admission order, optionally filtered
+// by tenant and state ("" = no filter).
+func (s *Server) Runs(tenant string, state RunState) []RunStatus {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	runs := s.runs
+	out := make([]RunStatus, 0, len(ids))
+	for _, id := range ids {
+		r := runs[id]
+		if tenant != "" && r.Tenant != tenant {
+			continue
+		}
+		out = append(out, r.snapshot())
+	}
+	s.mu.Unlock()
+	if state == "" {
+		return out
+	}
+	filtered := out[:0]
+	for _, st := range out {
+		if st.State == state {
+			filtered = append(filtered, st)
+		}
+	}
+	return filtered
+}
+
+// TenantStatus is the wire snapshot of one tenant (GET /v1/tenants/{id}):
+// a NodeStatus-style table of the tenant's runs plus rollup counters.
+type TenantStatus struct {
+	Tenant string             `json:"tenant"`
+	Counts map[RunState]int   `json:"counts"`
+	Active []RunStatus        `json:"active"`
+	Recent []RunStatus        `json:"recent"`
+	Totals map[string]float64 `json:"totals,omitempty"`
+}
+
+// Tenant snapshots one tenant. Active lists queued+running runs; Recent
+// the last finished ones (up to 20); Totals sums selected metrics over
+// every finished run (actuations, failovers, qos_coverage mean).
+func (s *Server) Tenant(tenant string) TenantStatus {
+	s.mu.Lock()
+	runs := append([]*Run(nil), s.tenants[tenant]...)
+	s.mu.Unlock()
+	st := TenantStatus{Tenant: tenant, Counts: make(map[RunState]int)}
+	var finished []RunStatus
+	totals := make(map[string]float64)
+	qosN := 0
+	for _, r := range runs {
+		snap := r.snapshot()
+		st.Counts[snap.State]++
+		switch snap.State {
+		case RunQueued, RunRunning:
+			st.Active = append(st.Active, snap)
+		default:
+			finished = append(finished, snap)
+			for _, k := range []string{evm.MetricActuations, evm.MetricFailovers, evm.MetricBackboneDropped} {
+				totals[k] += snap.Metrics[k]
+			}
+			if v, ok := snap.Metrics[evm.MetricQoSCoverage]; ok {
+				totals[evm.MetricQoSCoverage] += v
+				qosN++
+			}
+		}
+	}
+	if qosN > 0 {
+		totals[evm.MetricQoSCoverage] /= float64(qosN)
+	}
+	if len(finished) > 20 {
+		finished = finished[len(finished)-20:]
+	}
+	st.Recent = finished
+	if len(totals) > 0 {
+		st.Totals = totals
+	}
+	return st
+}
+
+// Tenants lists the tenants seen so far, sorted.
+func (s *Server) Tenants() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.tenants))
+	for t := range s.tenants {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats snapshots the daemon counters.
+func (s *Server) Stats() Stats {
+	depth, peak := s.queue.depths()
+	return Stats{
+		Workers:             s.cfg.Workers,
+		QueueDepth:          depth,
+		PeakQueueDepth:      peak,
+		QueueBound:          s.cfg.QueueDepth,
+		Running:             int(s.running.Load()),
+		Accepted:            s.accepted.Load(),
+		RejectedBackpressur: s.rejected.Load(),
+		RejectedDraining:    s.refused.Load(),
+		Completed:           s.done.Load(),
+		Failed:              s.failed.Load(),
+		Cancelled:           s.cancels.Load(),
+		Draining:            s.draining.Load(),
+	}
+}
+
+// Draining reports whether the daemon has begun shutdown.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// DrainReport summarizes a graceful shutdown.
+type DrainReport struct {
+	// Cancelled is how many queued-but-unstarted runs were abandoned.
+	Cancelled int
+	// TimedOut is true when in-flight runs were still executing at the
+	// deadline (their goroutines keep running; streams close when they
+	// finish).
+	TimedOut bool
+}
+
+// Drain begins graceful shutdown: new submissions are refused with
+// ErrDraining (HTTP 503), queued-but-unstarted runs are cancelled (their
+// streams close immediately), and in-flight runs — which are bounded by
+// their virtual-time horizons — are waited for up to timeout (zero =
+// Config.DrainTimeout). Event CSVs and telemetry are flushed by the runs
+// themselves as they complete. Drain is idempotent.
+func (s *Server) Drain(timeout time.Duration) DrainReport {
+	if timeout <= 0 {
+		timeout = s.cfg.DrainTimeout
+	}
+	var rep DrainReport
+	if !s.draining.CompareAndSwap(false, true) {
+		s.workers.Wait()
+		return rep
+	}
+	for _, run := range s.queue.close() {
+		run.mu.Lock()
+		run.state = RunCancelled
+		run.finishedAt = time.Now()
+		run.mu.Unlock()
+		run.stream.close()
+		s.cancels.Add(1)
+		rep.Cancelled++
+	}
+	idle := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+	case <-time.After(timeout):
+		rep.TimedOut = true
+	}
+	return rep
+}

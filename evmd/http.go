@@ -1,0 +1,275 @@
+package evmd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"evm"
+)
+
+// SubmitRequest is the POST /v1/runs body. One request fans out to one
+// run per seed (Seeds, or the single Seed when Seeds is empty), all
+// admitted atomically for the tenant.
+type SubmitRequest struct {
+	Tenant   string   `json:"tenant"`
+	Scenario string   `json:"scenario"`
+	Seed     uint64   `json:"seed"`
+	Seeds    []uint64 `json:"seeds,omitempty"`
+	// HorizonMS bounds the run in virtual milliseconds (0 = scenario
+	// default).
+	HorizonMS int64 `json:"horizon_ms,omitempty"`
+	// Policy names the placement policy for campus scenarios.
+	Policy string `json:"policy,omitempty"`
+	// FaultCell targets the fault plan in campus scenarios.
+	FaultCell string `json:"fault_cell,omitempty"`
+	// Faults is an optional declarative fault plan.
+	Faults *FaultPlanSpec `json:"faults,omitempty"`
+}
+
+// FaultPlanSpec is the JSON form of an evm.FaultPlan (the subset that
+// round-trips cleanly over the wire).
+type FaultPlanSpec struct {
+	Name  string          `json:"name,omitempty"`
+	Steps []FaultStepSpec `json:"steps"`
+}
+
+// FaultStepSpec is one JSON fault step.
+type FaultStepSpec struct {
+	AtMS        int64 `json:"at_ms"`
+	CrashNode   int   `json:"crash_node,omitempty"`
+	RecoverNode int   `json:"recover_node,omitempty"`
+	// PER forces cell-wide loss in [0,1] for PERForMS milliseconds.
+	PER      float64 `json:"per,omitempty"`
+	PERForMS int64   `json:"per_for_ms,omitempty"`
+	// LinkDownA/B sever the named backbone link; LinkUpA/B restore it.
+	LinkDownA string `json:"link_down_a,omitempty"`
+	LinkDownB string `json:"link_down_b,omitempty"`
+	LinkUpA   string `json:"link_up_a,omitempty"`
+	LinkUpB   string `json:"link_up_b,omitempty"`
+}
+
+// plan converts the wire form to an evm.FaultPlan.
+func (f *FaultPlanSpec) plan() evm.FaultPlan {
+	p := evm.FaultPlan{Name: f.Name}
+	for _, st := range f.Steps {
+		step := evm.FaultStep{
+			At:          time.Duration(st.AtMS) * time.Millisecond,
+			CrashNode:   evm.NodeID(st.CrashNode),
+			RecoverNode: evm.NodeID(st.RecoverNode),
+		}
+		if st.PER > 0 || st.PERForMS > 0 {
+			step.PERBurst = &evm.PERBurst{PER: st.PER, For: time.Duration(st.PERForMS) * time.Millisecond}
+		}
+		if st.LinkDownA != "" || st.LinkDownB != "" {
+			step.LinkDown = &evm.LinkRef{A: st.LinkDownA, B: st.LinkDownB}
+		}
+		if st.LinkUpA != "" || st.LinkUpB != "" {
+			step.LinkUp = &evm.LinkRef{A: st.LinkUpA, B: st.LinkUpB}
+		}
+		p.Steps = append(p.Steps, step)
+	}
+	return p
+}
+
+// Specs expands the request into concrete run specs.
+func (req *SubmitRequest) Specs() []evm.RunSpec {
+	seeds := req.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{req.Seed}
+	}
+	specs := make([]evm.RunSpec, 0, len(seeds))
+	for _, seed := range seeds {
+		spec := evm.RunSpec{
+			Scenario:  req.Scenario,
+			Seed:      seed,
+			Horizon:   time.Duration(req.HorizonMS) * time.Millisecond,
+			Policy:    req.Policy,
+			FaultCell: req.FaultCell,
+		}
+		if req.Faults != nil {
+			spec.Faults = req.Faults.plan()
+		}
+		specs = append(specs, spec)
+	}
+	return specs
+}
+
+// SubmitResponse acknowledges an admitted submission (HTTP 202).
+type SubmitResponse struct {
+	Runs       []RunStatus `json:"runs"`
+	QueueDepth int         `json:"queue_depth"`
+}
+
+// Handler mounts the daemon's HTTP API:
+//
+//	POST /v1/runs                  submit (202; 429 backpressure; 503 draining)
+//	GET  /v1/runs                  list run snapshots (?tenant=, ?state=)
+//	GET  /v1/runs/{id}             one run snapshot
+//	GET  /v1/runs/{id}/events      stream events (SSE or NDJSON; replays from start)
+//	GET  /v1/runs/{id}/telemetry   flat samples (?format=csv|ndjson)
+//	GET  /v1/tenants               tenant names
+//	GET  /v1/tenants/{id}          tenant status table
+//	GET  /v1/scenarios             registered scenarios and policies
+//	GET  /v1/stats                 daemon counters
+//	GET  /v1/healthz               200 serving / 503 draining
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/runs", s.handleListRuns)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleRun)
+	mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/runs/{id}/telemetry", s.handleTelemetry)
+	mux.HandleFunc("GET /v1/tenants", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"tenants": s.Tenants()})
+	})
+	mux.HandleFunc("GET /v1/tenants/{id}", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Tenant(r.PathValue("id")))
+	})
+	mux.HandleFunc("GET /v1/scenarios", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"scenarios": evm.Scenarios(),
+			"policies":  evm.PlacementPolicies(),
+		})
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+	})
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("evmd: bad submit body: %w", err))
+		return
+	}
+	if req.Scenario == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("evmd: submission needs a scenario"))
+		return
+	}
+	runs, err := s.Submit(req.Tenant, req.Specs()...)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrDraining):
+			httpError(w, http.StatusServiceUnavailable, err)
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests, err)
+		default:
+			httpError(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	resp := SubmitResponse{Runs: make([]RunStatus, len(runs))}
+	for i, run := range runs {
+		resp.Runs[i] = run.snapshot()
+	}
+	resp.QueueDepth, _ = s.queue.depths()
+	writeJSON(w, http.StatusAccepted, resp)
+}
+
+func (s *Server) handleListRuns(w http.ResponseWriter, r *http.Request) {
+	runs := s.Runs(r.URL.Query().Get("tenant"), RunState(r.URL.Query().Get("state")))
+	writeJSON(w, http.StatusOK, map[string]any{"runs": runs, "count": len(runs)})
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	run := s.Run(r.PathValue("id"))
+	if run == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("evmd: unknown run %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, run.snapshot())
+}
+
+// handleEvents streams the run's event records from the start: SSE when
+// the client asks for text/event-stream (or ?format=sse), NDJSON
+// otherwise. The stream ends when the run completes; a disconnected
+// client unblocks via the context watcher.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	run := s.Run(r.PathValue("id"))
+	if run == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("evmd: unknown run %q", r.PathValue("id")))
+		return
+	}
+	sse := r.URL.Query().Get("format") == "sse" ||
+		strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	flusher, _ := w.(http.Flusher)
+	ctx := r.Context()
+	go func() {
+		<-ctx.Done()
+		run.stream.wake()
+	}()
+	enc := json.NewEncoder(w)
+	for i := 0; ; i++ {
+		rec, ok := run.stream.next(i, func() bool { return ctx.Err() != nil })
+		if !ok {
+			return
+		}
+		if sse {
+			fmt.Fprint(w, "data: ")
+		}
+		if err := enc.Encode(rec); err != nil {
+			return
+		}
+		if sse {
+			fmt.Fprint(w, "\n")
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	run := s.Run(r.PathValue("id"))
+	if run == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("evmd: unknown run %q", r.PathValue("id")))
+		return
+	}
+	samples := run.Samples()
+	switch r.URL.Query().Get("format") {
+	case "", "csv":
+		w.Header().Set("Content-Type", "text/csv")
+		if err := WriteSamplesCSV(w, samples); err != nil {
+			return
+		}
+	case "ndjson":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		for _, sm := range samples {
+			if err := enc.Encode(sm); err != nil {
+				return
+			}
+		}
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Errorf("evmd: unknown telemetry format %q", r.URL.Query().Get("format")))
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,253 @@
+package evmd
+
+import (
+	"encoding/csv"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"evm"
+)
+
+// EventRecord is one streamed event line: the run's virtual timestamp,
+// the cell the event is attributed to (campus streams; "" for
+// single-cell runs), the event's telemetry series and its stable
+// one-line rendering. Event strings are byte-identical across equal-seed
+// runs, so two subscribers — or two tenants — comparing streams see
+// exactly the library's determinism guarantee.
+type EventRecord struct {
+	T      float64 `json:"t"` // virtual seconds
+	Cell   string  `json:"cell,omitempty"`
+	Series string  `json:"series"`
+	Event  string  `json:"event"`
+}
+
+// Sample is one flat telemetry measurement in the vpnctl-Metric style:
+// every field is a column, ready for CSV or a TSDB row. The daemon emits
+// one cumulative-count sample per event on its (cell, series) pair —
+// per-cell load, backbone drops, rollout phases — plus one sample per
+// final run metric (failover latency, qos_coverage, ...) stamped at the
+// horizon with series "metric.<name>".
+type Sample struct {
+	T        float64 `json:"t"` // virtual seconds
+	Run      string  `json:"run"`
+	Tenant   string  `json:"tenant"`
+	Scenario string  `json:"scenario"`
+	Seed     uint64  `json:"seed"`
+	Cell     string  `json:"cell,omitempty"`
+	Series   string  `json:"series"`
+	Value    float64 `json:"value"`
+}
+
+// sampleSeries refines evm.SeriesName for telemetry: backbone drops get
+// their own series (the bus folds deliver/drop into one event type), and
+// rollout events carry their phase as the series suffix so a dashboard
+// can plot rollout progress directly.
+func sampleSeries(ev evm.Event) string {
+	if ce, ok := ev.(evm.CellEvent); ok {
+		return sampleSeries(ce.Inner)
+	}
+	switch e := ev.(type) {
+	case evm.BackboneEvent:
+		if e.Kind == evm.BackboneDrop {
+			return "backbone_drops"
+		}
+	case evm.RolloutEvent:
+		return "rollout_phase." + string(e.Phase)
+	}
+	return evm.SeriesName(ev)
+}
+
+// stream is one run's append-only observation log: event records for
+// streaming subscribers and flat samples for telemetry export. Writers
+// (the run's worker goroutine) append under mu; readers follow the log
+// by index and block on cond until more arrives or the stream closes.
+// Late subscribers replay from the start — runs are deterministic and
+// bounded, so replay-from-zero is both cheap and the property the
+// determinism tests lean on.
+type stream struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	events  []EventRecord
+	samples []Sample
+	counts  map[string]float64
+	closed  bool
+}
+
+func newStream() *stream {
+	s := &stream{counts: make(map[string]float64)}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// observe appends one bus event as a stream record plus a cumulative
+// (cell, series) count sample. It runs synchronously on the simulation
+// goroutine, so ordering is the bus's deterministic publication order.
+func (s *stream) observe(run *Run, ev evm.Event) {
+	cell := ""
+	if ce, ok := ev.(evm.CellEvent); ok {
+		cell = ce.Cell
+	}
+	series := sampleSeries(ev)
+	rec := EventRecord{
+		T:      ev.When().Seconds(),
+		Cell:   cell,
+		Series: series,
+		Event:  ev.String(),
+	}
+	s.mu.Lock()
+	s.events = append(s.events, rec)
+	key := cell + "|" + series
+	s.counts[key]++
+	s.samples = append(s.samples, Sample{
+		T:        rec.T,
+		Run:      run.ID,
+		Tenant:   run.Tenant,
+		Scenario: run.Spec.Scenario,
+		Seed:     run.Spec.Seed,
+		Cell:     cell,
+		Series:   series,
+		Value:    s.counts[key],
+	})
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// finalize stamps every final run metric as a sample at the horizon.
+// Metric keys are emitted in sorted order so the sample log, like the
+// event log, is byte-deterministic.
+func (s *stream) finalize(run *Run, now time.Duration, metrics map[string]float64) {
+	keys := make([]string, 0, len(metrics))
+	for k := range metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s.mu.Lock()
+	for _, k := range keys {
+		s.samples = append(s.samples, Sample{
+			T:        now.Seconds(),
+			Run:      run.ID,
+			Tenant:   run.Tenant,
+			Scenario: run.Spec.Scenario,
+			Seed:     run.Spec.Seed,
+			Series:   "metric." + k,
+			Value:    metrics[k],
+		})
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// close ends the stream; blocked readers drain and return. Idempotent.
+func (s *stream) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// next returns the record at index i, blocking until it exists. ok is
+// false once the stream is closed and fully drained, or when cancel
+// (checked after every wakeup) reports the reader is gone; callers pair
+// it with a goroutine that broadcasts on context cancellation.
+func (s *stream) next(i int, cancelled func() bool) (EventRecord, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if i < len(s.events) {
+			return s.events[i], true
+		}
+		if s.closed || (cancelled != nil && cancelled()) {
+			return EventRecord{}, false
+		}
+		s.cond.Wait()
+	}
+}
+
+// wake re-broadcasts the stream condition (used to unblock readers when
+// their HTTP context is cancelled).
+func (s *stream) wake() {
+	s.mu.Lock()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// lens returns the current event and sample counts.
+func (s *stream) lens() (events, samples int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events), len(s.samples)
+}
+
+// snapshotEvents copies the event records seen so far.
+func (s *stream) snapshotEvents() []EventRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]EventRecord(nil), s.events...)
+}
+
+// snapshotSamples copies the samples seen so far.
+func (s *stream) snapshotSamples() []Sample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Sample(nil), s.samples...)
+}
+
+// Events returns the run's streamed event records so far (all of them
+// once the run finishes).
+func (r *Run) Events() []EventRecord { return r.stream.snapshotEvents() }
+
+// Samples returns the run's flat telemetry samples so far.
+func (r *Run) Samples() []Sample { return r.stream.snapshotSamples() }
+
+// WriteSamplesCSV renders samples as one flat CSV table
+// (t,run,tenant,scenario,seed,cell,series,value).
+func WriteSamplesCSV(w io.Writer, samples []Sample) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"t", "run", "tenant", "scenario", "seed", "cell", "series", "value"}); err != nil {
+		return err
+	}
+	for _, sm := range samples {
+		rec := []string{
+			strconv.FormatFloat(sm.T, 'g', -1, 64),
+			sm.Run, sm.Tenant, sm.Scenario,
+			strconv.FormatUint(sm.Seed, 10),
+			sm.Cell, sm.Series,
+			strconv.FormatFloat(sm.Value, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SerialEvents executes the spec synchronously on the calling goroutine
+// — no daemon, no queue — and returns exactly the event records evmd
+// would stream for it. This is the reference side of the multi-tenant
+// determinism guarantee: a run streamed through the daemon under load
+// must be byte-identical to its SerialEvents output. evmload -verify and
+// the evmd test suite both compare against it.
+func SerialEvents(spec evm.RunSpec) ([]EventRecord, error) {
+	ref := &Run{ID: "serial", Tenant: "serial", Spec: spec, stream: newStream()}
+	runner := &evm.Runner{
+		Workers: 1,
+		Instrument: func(_ evm.RunSpec, exp *evm.Experiment) func(map[string]float64) {
+			bus := exp.Cell.Events
+			if exp.Campus != nil {
+				bus = exp.Campus.Events
+			}
+			sub := bus().Subscribe(func(ev evm.Event) { ref.stream.observe(ref, ev) })
+			return func(map[string]float64) { sub.Cancel() }
+		},
+	}
+	res := runner.RunOne(spec)
+	if res.Err != nil {
+		return nil, res.Err
+	}
+	ref.stream.close()
+	return ref.stream.snapshotEvents(), nil
+}

@@ -58,6 +58,12 @@ type Experiment struct {
 	DefaultHorizon time.Duration
 	// Metrics extracts the per-run measurements after the horizon.
 	Metrics func() map[string]float64
+	// QoS, when non-nil, evaluates the component's control quality after
+	// the horizon (EvaluateQoS over the deployed VC). The Runner folds
+	// the report into every run's metrics as qos_coverage /
+	// qos_redundancy_mean — the shared signal for OTA health-window
+	// gates and evmd telemetry dashboards.
+	QoS func() QoSReport
 	// Cleanup releases the experiment (stop feeds, runtimes); may be nil.
 	Cleanup func()
 }

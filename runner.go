@@ -67,6 +67,15 @@ const (
 	// MetricModeChanges counts synchronized mode switches issued by
 	// component heads.
 	MetricModeChanges = "mode_changes"
+	// MetricQoSCoverage is the post-horizon control-quality signal from
+	// EvaluateQoS: the fraction of tasks with a live Active controller.
+	// Reported by every scenario that exposes Experiment.QoS, so
+	// health-window gates and evmd dashboards read one shared signal.
+	MetricQoSCoverage = "qos_coverage"
+	// MetricQoSRedundancy is EvaluateQoS's mean live replicas per task at
+	// the horizon (plant-deviation headroom: below 1 the plant has
+	// uncovered loops, below 2 a single crash loses coverage).
+	MetricQoSRedundancy = "qos_redundancy_mean"
 )
 
 // Runner executes a grid of RunSpecs across worker goroutines. Every
@@ -83,6 +92,15 @@ type Runner struct {
 	// <EventDir>/<spec label>.csv — paper-style plots straight from a
 	// grid sweep.
 	EventDir string
+	// Instrument, when non-nil, is invoked once per run on the worker
+	// goroutine, after the scenario is built and before the fault plan is
+	// applied, so callers can attach live observers (event-bus
+	// subscriptions, telemetry taps) to the experiment. The returned
+	// finish callback (may be nil) runs with the final metric map after
+	// the horizon, once scenario metrics and QoS have been merged —
+	// evmd's streaming layer hangs off this hook. Instrument must not
+	// advance the experiment itself.
+	Instrument func(spec RunSpec, exp *Experiment) func(metrics map[string]float64)
 }
 
 // Run executes every spec and returns results in spec order. Individual
@@ -118,6 +136,12 @@ func (r *Runner) Run(specs []RunSpec) []RunResult {
 	return results
 }
 
+// RunOne executes a single spec synchronously on the calling goroutine
+// and returns its result. It is the single-run form of Run: evmd's
+// admission workers dispatch individual submissions through it while the
+// batch grid workflow keeps using Run.
+func (r *Runner) RunOne(spec RunSpec) RunResult { return r.runOne(spec) }
+
 // runOne executes a single grid point: build, instrument, fault, run,
 // measure, clean up. Campus experiments are driven through the campus
 // facade (merged event stream, cell-targeted fault plan, shared engine).
@@ -132,6 +156,10 @@ func (r *Runner) runOne(spec RunSpec) RunResult {
 		defer exp.Cleanup()
 	}
 	res.Policy = exp.Policy
+	var finish func(map[string]float64)
+	if r.Instrument != nil {
+		finish = r.Instrument(spec, exp)
+	}
 	var bus *Bus
 	if exp.Campus != nil {
 		bus = exp.Campus.Events()
@@ -258,10 +286,18 @@ func (r *Runner) runOne(spec RunSpec) RunResult {
 			res.Metrics[k] = v
 		}
 	}
+	if exp.QoS != nil {
+		rep := exp.QoS()
+		res.Metrics[MetricQoSCoverage] = rep.CoverageRatio
+		res.Metrics[MetricQoSRedundancy] = rep.RedundancyMean
+	}
 	if log != nil {
 		if err := writeEventCSV(r.EventDir, spec, log); err != nil && res.Err == nil {
 			res.Err = err
 		}
+	}
+	if finish != nil {
+		finish(res.Metrics)
 	}
 	return res
 }

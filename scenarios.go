@@ -52,6 +52,7 @@ func buildGasPlantScenario(spec RunSpec) (*Experiment, error) {
 				"active_controller":  float64(s.ActiveController()),
 			}
 		},
+		QoS: func() QoSReport { return EvaluateQoS(s.VC, s.Cell.Nodes()) },
 		Cleanup: func() {
 			s.GW.Stop()
 			s.Cell.Stop()
@@ -114,6 +115,7 @@ func buildEightControllerScenario(spec RunSpec) (*Experiment, error) {
 				"tasks":     float64(rep.Tasks),
 			}
 		},
+		QoS: func() QoSReport { return EvaluateQoS(vc, cell.Nodes()) },
 		Cleanup: func() {
 			feed.Stop()
 			cell.Stop()
@@ -200,6 +202,7 @@ func buildCapacityScenario(spec RunSpec) (*Experiment, error) {
 				"reoptimizations": float64(head.Stats().Reoptimizations),
 			}
 		},
+		QoS: func() QoSReport { return EvaluateQoS(vc, cell.Nodes()) },
 		Cleanup: func() {
 			feed.Stop()
 			cell.Stop()

@@ -85,6 +85,7 @@ func buildRandomFieldScenario(spec RunSpec) (*Experiment, error) {
 				"members":   float64(len(cell.Members())),
 			}
 		},
+		QoS: func() QoSReport { return EvaluateQoS(vc, cell.Nodes()) },
 		Cleanup: func() {
 			feed.Stop()
 			cell.Stop()
