@@ -29,6 +29,8 @@ func main() {
 	tenantQueue := flag.Int("tenant-queue", 0, "per-tenant queue share (0 = no per-tenant bound)")
 	eventDir := flag.String("event-dir", "", "flush per-run event CSVs under this directory")
 	drain := flag.Duration("drain-timeout", 30*time.Second, "bound on waiting for in-flight runs at shutdown")
+	runTTL := flag.Duration("run-ttl", 0, "evict finished runs this long after completion (410 Gone; 0 = keep forever)")
+	maxRuns := flag.Int("max-runs", 0, "cap the run table, evicting the oldest finished runs (0 = unbounded)")
 	flag.Parse()
 
 	srv := evmd.NewServer(evmd.Config{
@@ -37,6 +39,8 @@ func main() {
 		TenantQueueDepth: *tenantQueue,
 		EventDir:         *eventDir,
 		DrainTimeout:     *drain,
+		RunTTL:           *runTTL,
+		MaxRuns:          *maxRuns,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -39,6 +39,15 @@ type Config struct {
 	EventDir string
 	// DrainTimeout bounds Drain when the caller passes zero (default 30s).
 	DrainTimeout time.Duration
+	// RunTTL, when positive, evicts finished runs (done/failed/cancelled)
+	// from the run table once they have been finished this long. Evicted
+	// runs answer HTTP 410 Gone. Zero keeps runs forever.
+	RunTTL time.Duration
+	// MaxRuns, when positive, caps the run table: whenever it grows past
+	// the cap, the oldest finished runs are evicted until it fits (live
+	// runs are never evicted, so the table may transiently exceed the cap
+	// under a burst of in-flight work). Zero means unbounded.
+	MaxRuns int
 }
 
 func (c Config) withDefaults() Config {
@@ -169,6 +178,7 @@ type Stats struct {
 	Completed           int64 `json:"completed"`
 	Failed              int64 `json:"failed"`
 	Cancelled           int64 `json:"cancelled"`
+	Evicted             int64 `json:"evicted"`
 	Draining            bool  `json:"draining"`
 }
 
@@ -192,6 +202,7 @@ type Server struct {
 	done     atomic.Int64
 	failed   atomic.Int64
 	cancels  atomic.Int64
+	evicted  atomic.Int64
 	draining atomic.Bool
 
 	workers sync.WaitGroup
@@ -283,9 +294,101 @@ func (s *Server) Submit(tenant string, specs ...evm.RunSpec) ([]*Run, error) {
 		s.order = append(s.order, run.ID)
 		s.tenants[tenant] = append(s.tenants[tenant], run)
 	}
+	s.evictLocked(time.Now())
 	s.mu.Unlock()
 	s.accepted.Add(int64(len(specs)))
 	return runs, nil
+}
+
+// evictLocked enforces Config.RunTTL and Config.MaxRuns over the run
+// table. Only finished runs are candidates; they leave in admission
+// order, so the table always keeps the most recent history. Callers
+// hold s.mu. Returns how many runs were evicted.
+func (s *Server) evictLocked(now time.Time) int {
+	if s.cfg.RunTTL <= 0 && s.cfg.MaxRuns <= 0 {
+		return 0
+	}
+	finished := func(r *Run) (time.Time, bool) {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		switch r.state {
+		case RunDone, RunFailed, RunCancelled:
+			return r.finishedAt, true
+		}
+		return time.Time{}, false
+	}
+	evict := make(map[string]bool)
+	if s.cfg.RunTTL > 0 {
+		for _, id := range s.order {
+			if at, ok := finished(s.runs[id]); ok && now.Sub(at) >= s.cfg.RunTTL {
+				evict[id] = true
+			}
+		}
+	}
+	if s.cfg.MaxRuns > 0 {
+		excess := len(s.runs) - len(evict) - s.cfg.MaxRuns
+		for _, id := range s.order {
+			if excess <= 0 {
+				break
+			}
+			if evict[id] {
+				continue
+			}
+			if _, ok := finished(s.runs[id]); ok {
+				evict[id] = true
+				excess--
+			}
+		}
+	}
+	if len(evict) == 0 {
+		return 0
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		if evict[id] {
+			delete(s.runs, id)
+		} else {
+			kept = append(kept, id)
+		}
+	}
+	s.order = kept
+	for tenant, runs := range s.tenants {
+		keptRuns := runs[:0]
+		for _, r := range runs {
+			if !evict[r.ID] {
+				keptRuns = append(keptRuns, r)
+			}
+		}
+		s.tenants[tenant] = keptRuns
+	}
+	s.evicted.Add(int64(len(evict)))
+	return len(evict)
+}
+
+// EvictNow applies the eviction policy immediately (it otherwise runs
+// on every admission and completion) and reports how many runs left
+// the table.
+func (s *Server) EvictNow() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evictLocked(time.Now())
+}
+
+// lookupRun distinguishes a live run, an evicted run, and an ID the
+// daemon never issued. Run IDs are sequential, so any well-formed ID
+// at or below the admission sequence that is no longer in the table
+// must have been evicted — that is the HTTP 410 watermark.
+func (s *Server) lookupRun(id string) (run *Run, evicted bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.runs[id]; ok {
+		return r, false
+	}
+	var n int
+	if _, err := fmt.Sscanf(id, "r-%06d", &n); err == nil && n >= 1 && n <= s.seq {
+		return nil, true
+	}
+	return nil, false
 }
 
 // execute runs one admitted submission on the calling worker goroutine.
@@ -350,6 +453,9 @@ func (s *Server) execute(run *Run) {
 	} else {
 		s.done.Add(1)
 	}
+	s.mu.Lock()
+	s.evictLocked(time.Now())
+	s.mu.Unlock()
 }
 
 // Run returns the run record by ID (nil when unknown).
@@ -464,6 +570,7 @@ func (s *Server) Stats() Stats {
 		Completed:           s.done.Load(),
 		Failed:              s.failed.Load(),
 		Cancelled:           s.cancels.Load(),
+		Evicted:             s.evicted.Load(),
 		Draining:            s.draining.Load(),
 	}
 }

@@ -1,0 +1,97 @@
+package evmd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"evm"
+	"evm/fuzz"
+)
+
+// FuzzRequest is the POST /v1/fuzz body: generate Count scenario specs
+// from consecutive generator seeds starting at GenSeed, register them,
+// and admit one run per (spec, run seed) pair for the tenant — the
+// daemon-side form of an evmfuzz sweep slice.
+type FuzzRequest struct {
+	Tenant  string   `json:"tenant"`
+	GenSeed uint64   `json:"gen_seed"`
+	Count   int      `json:"count"`
+	Seeds   []uint64 `json:"seeds,omitempty"`
+	// Profile picks the generator profile: "default" or "multihop".
+	Profile string `json:"profile,omitempty"`
+}
+
+// maxFuzzCount bounds one request's registry growth; sweeps larger than
+// this belong in the evmfuzz CLI, not a daemon run table.
+const maxFuzzCount = 256
+
+// FuzzResponse acknowledges an admitted fuzz submission (HTTP 202).
+type FuzzResponse struct {
+	Scenarios  []string    `json:"scenarios"`
+	Runs       []RunStatus `json:"runs"`
+	QueueDepth int         `json:"queue_depth"`
+}
+
+func (s *Server) handleFuzz(w http.ResponseWriter, r *http.Request) {
+	var req FuzzRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("evmd: bad fuzz body: %w", err))
+		return
+	}
+	if req.Count <= 0 {
+		req.Count = 1
+	}
+	if req.Count > maxFuzzCount {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("evmd: fuzz count %d exceeds %d per request", req.Count, maxFuzzCount))
+		return
+	}
+	prof := fuzz.DefaultProfile()
+	switch req.Profile {
+	case "", "default":
+	case "multihop":
+		prof = fuzz.MultihopProfile()
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Errorf("evmd: unknown fuzz profile %q", req.Profile))
+		return
+	}
+	seeds := req.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{1}
+	}
+	var (
+		names []string
+		specs []evm.RunSpec
+	)
+	for i := 0; i < req.Count; i++ {
+		spec := fuzz.GenerateWith(req.GenSeed+uint64(i), prof)
+		if err := fuzz.EnsureRegistered(spec); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		names = append(names, spec.Name)
+		for _, seed := range seeds {
+			specs = append(specs, evm.RunSpec{Scenario: spec.Name, Seed: seed})
+		}
+	}
+	runs, err := s.Submit(req.Tenant, specs...)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrDraining):
+			httpError(w, http.StatusServiceUnavailable, err)
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests, err)
+		default:
+			httpError(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	resp := FuzzResponse{Scenarios: names, Runs: make([]RunStatus, len(runs))}
+	for i, run := range runs {
+		resp.Runs[i] = run.snapshot()
+	}
+	resp.QueueDepth, _ = s.queue.depths()
+	writeJSON(w, http.StatusAccepted, resp)
+}

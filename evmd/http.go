@@ -107,8 +107,9 @@ type SubmitResponse struct {
 // Handler mounts the daemon's HTTP API:
 //
 //	POST /v1/runs                  submit (202; 429 backpressure; 503 draining)
+//	POST /v1/fuzz                  generate + register + submit fuzz specs (202)
 //	GET  /v1/runs                  list run snapshots (?tenant=, ?state=)
-//	GET  /v1/runs/{id}             one run snapshot
+//	GET  /v1/runs/{id}             one run snapshot (410 once evicted)
 //	GET  /v1/runs/{id}/events      stream events (SSE or NDJSON; replays from start)
 //	GET  /v1/runs/{id}/telemetry   flat samples (?format=csv|ndjson)
 //	GET  /v1/tenants               tenant names
@@ -119,6 +120,7 @@ type SubmitResponse struct {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/fuzz", s.handleFuzz)
 	mux.HandleFunc("GET /v1/runs", s.handleListRuns)
 	mux.HandleFunc("GET /v1/runs/{id}", s.handleRun)
 	mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
@@ -184,10 +186,26 @@ func (s *Server) handleListRuns(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"runs": runs, "count": len(runs)})
 }
 
+// fetchRun resolves the {id} path value to a run, writing 404 for IDs
+// the daemon never issued and 410 Gone for runs evicted by the
+// RunTTL/MaxRuns retention policy.
+func (s *Server) fetchRun(w http.ResponseWriter, r *http.Request) *Run {
+	id := r.PathValue("id")
+	run, evicted := s.lookupRun(id)
+	switch {
+	case run != nil:
+		return run
+	case evicted:
+		httpError(w, http.StatusGone, fmt.Errorf("evmd: run %q evicted by retention policy", id))
+	default:
+		httpError(w, http.StatusNotFound, fmt.Errorf("evmd: unknown run %q", id))
+	}
+	return nil
+}
+
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
-	run := s.Run(r.PathValue("id"))
+	run := s.fetchRun(w, r)
 	if run == nil {
-		httpError(w, http.StatusNotFound, fmt.Errorf("evmd: unknown run %q", r.PathValue("id")))
 		return
 	}
 	writeJSON(w, http.StatusOK, run.snapshot())
@@ -198,9 +216,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 // otherwise. The stream ends when the run completes; a disconnected
 // client unblocks via the context watcher.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
-	run := s.Run(r.PathValue("id"))
+	run := s.fetchRun(w, r)
 	if run == nil {
-		httpError(w, http.StatusNotFound, fmt.Errorf("evmd: unknown run %q", r.PathValue("id")))
 		return
 	}
 	sse := r.URL.Query().Get("format") == "sse" ||
@@ -239,9 +256,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
-	run := s.Run(r.PathValue("id"))
+	run := s.fetchRun(w, r)
 	if run == nil {
-		httpError(w, http.StatusNotFound, fmt.Errorf("evmd: unknown run %q", r.PathValue("id")))
 		return
 	}
 	samples := run.Samples()

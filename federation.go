@@ -66,6 +66,14 @@ type CampusConfig struct {
 	// Capsules is the campus's versioned capsule store for over-the-air
 	// rollouts (nil = an empty store, created on first use).
 	Capsules *CapsuleStore
+	// UnsafeSkipStaleMasterDemotion disables the coordinator's
+	// stale-master demotion on cell recovery, re-introducing the
+	// pre-handshake dual-master bug (a recovered origin master resumes
+	// actuating alongside the foreign copy when no RebalancePolicy is
+	// set). It exists only as a seeded fault for validating violation
+	// detection end to end — the fuzz shrinker's self-test depends on it.
+	// Never set it outside tests.
+	UnsafeSkipStaleMasterDemotion bool
 }
 
 // taskPlacement is the coordinator's view of one control task: where it
@@ -552,6 +560,9 @@ func (c *Campus) detectRecoveries() {
 // configured). Called on every radio recovery in the cell and again on
 // CellRecoveredEvent; RetireMaster no-ops once the mastership is gone.
 func (c *Campus) demoteStaleMasters(origin int) {
+	if c.cfg.UnsafeSkipStaleMasterDemotion {
+		return
+	}
 	if c.headDown(origin) {
 		return
 	}

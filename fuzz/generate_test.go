@@ -1,0 +1,75 @@
+package fuzz
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// TestGenerateDeterministicAndValid locks the generator's contract: the
+// mapping seed → spec is a pure function (byte-identical JSON on every
+// call) and every generated spec passes Validate.
+func TestGenerateDeterministicAndValid(t *testing.T) {
+	for _, prof := range []Profile{DefaultProfile(), MultihopProfile()} {
+		for seed := uint64(1); seed <= 300; seed++ {
+			a := GenerateWith(seed, prof)
+			b := GenerateWith(seed, prof)
+			ja, err := a.MarshalIndent()
+			if err != nil {
+				t.Fatal(err)
+			}
+			jb, _ := b.MarshalIndent()
+			if !bytes.Equal(ja, jb) {
+				t.Fatalf("seed %d: two generations differ:\n%s\n----\n%s", seed, ja, jb)
+			}
+			if err := a.Validate(); err != nil {
+				t.Fatalf("seed %d: invalid spec: %v\n%s", seed, err, ja)
+			}
+		}
+	}
+}
+
+func dist(a, b Point) float64 { return math.Hypot(a.X-b.X, a.Y-b.Y) }
+
+// TestMultihopFieldsSpanPastRadioRange checks the carried PR-4 geometry
+// on every multihop spec: consecutive stations stay comfortably inside
+// radio range (reliable hops) while the field end-to-end spans wider
+// than the range, so the line schedule genuinely has to relay.
+func TestMultihopFieldsSpanPastRadioRange(t *testing.T) {
+	for seed := uint64(1); seed <= 50; seed++ {
+		s := GenerateWith(seed, MultihopProfile())
+		c := s.Cells[0]
+		if !c.Multihop || len(c.Positions) != c.Nodes() {
+			t.Fatalf("seed %d: not a positioned multihop cell: %+v", seed, c)
+		}
+		for i := 1; i < len(c.Positions); i++ {
+			if d := dist(c.Positions[i-1], c.Positions[i]); d >= 0.8*RadioRangeM {
+				t.Fatalf("seed %d: hop %d spans %.1f m (want < %.0f m)", seed, i, d, 0.8*RadioRangeM)
+			}
+		}
+		if span := dist(c.Positions[0], c.Positions[len(c.Positions)-1]); span <= RadioRangeM {
+			t.Fatalf("seed %d: field spans only %.1f m, inside the %d m radio range", seed, span, RadioRangeM)
+		}
+	}
+}
+
+// TestGeneratedFaultsAreSerialized locks the generator's safety
+// envelope: structural fault windows never overlap, so every
+// disturbance resolves before the next begins.
+func TestGeneratedFaultsAreSerialized(t *testing.T) {
+	for seed := uint64(1); seed <= 200; seed++ {
+		s := GenerateWith(seed, DefaultProfile())
+		var last int64
+		for i, f := range s.Faults {
+			if f.AtMS < last {
+				t.Fatalf("seed %d: fault %d (%s) at %d ms starts before %d ms", seed, i, f.Kind, f.AtMS, last)
+			}
+			switch f.Kind {
+			case KindOutage, KindPERBurst:
+				last = f.AtMS + f.ForMS
+			default:
+				last = f.AtMS
+			}
+		}
+	}
+}

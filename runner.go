@@ -20,6 +20,10 @@ type RunResult struct {
 	// Policy is the placement policy the scenario builder resolved
 	// (Experiment.Policy; "" for single-cell scenarios).
 	Policy string
+	// Violations holds every invariant breach the Runner's checkers
+	// (Runner.Checkers) observed on the live event stream; nil when no
+	// checkers were configured or all invariants held.
+	Violations []Violation
 }
 
 // Metric keys the Runner derives from the event bus on top of whatever
@@ -101,6 +105,15 @@ type Runner struct {
 	// evmd's streaming layer hangs off this hook. Instrument must not
 	// advance the experiment itself.
 	Instrument func(spec RunSpec, exp *Experiment) func(metrics map[string]float64)
+	// Build, when non-nil, replaces the global scenario registry for
+	// spec resolution. Corpus sweeps (the fuzz package) run thousands of
+	// generated specs through one Runner without registering each as a
+	// named scenario.
+	Build ScenarioBuilder
+	// Checkers, when non-nil, supplies a fresh set of invariant checkers
+	// per run. They observe the live event stream (no stored log needed)
+	// and their findings land in RunResult.Violations.
+	Checkers func() []InvariantChecker
 }
 
 // Run executes every spec and returns results in spec order. Individual
@@ -147,7 +160,13 @@ func (r *Runner) RunOne(spec RunSpec) RunResult { return r.runOne(spec) }
 // facade (merged event stream, cell-targeted fault plan, shared engine).
 func (r *Runner) runOne(spec RunSpec) RunResult {
 	res := RunResult{Spec: spec}
-	exp, err := BuildScenario(spec)
+	var exp *Experiment
+	var err error
+	if r.Build != nil {
+		exp, err = r.Build(spec)
+	} else {
+		exp, err = BuildScenario(spec)
+	}
 	if err != nil {
 		res.Err = err
 		return res
@@ -249,6 +268,16 @@ func (r *Runner) runOne(spec RunSpec) RunResult {
 		}
 	})
 	defer sub.Cancel()
+	var checkers []InvariantChecker
+	if r.Checkers != nil {
+		checkers = r.Checkers()
+		csub := bus.Subscribe(func(ev Event) {
+			for _, c := range checkers {
+				c.Observe(ev)
+			}
+		})
+		defer csub.Cancel()
+	}
 	var log *EventLog
 	if r.EventDir != "" {
 		log = bus.Log()
@@ -278,6 +307,9 @@ func (r *Runner) runOne(spec RunSpec) RunResult {
 		exp.Cell.Run(horizon)
 	}
 	res.Metrics = counts
+	for _, c := range checkers {
+		res.Violations = append(res.Violations, c.Violations()...)
+	}
 	if firstFailover >= 0 {
 		res.Metrics[MetricFirstFailoverS] = firstFailover.Seconds()
 	}
