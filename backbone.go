@@ -322,6 +322,7 @@ func (b *Backbone) linkConfig(from, to int) LinkConfig {
 // (severed links are not neighbors).
 func (b *Backbone) neighbors(of int) []int {
 	out := make([]int, 0, len(b.links[of]))
+	//evm:allow-maporder linkDown is a pure predicate and the result is sorted before return, so visit order cannot leak out
 	for n := range b.links[of] {
 		if !b.linkDown(of, n) {
 			out = append(out, n)
@@ -365,7 +366,7 @@ func (b *Backbone) computeRoutes() {
 				if done[i] || dist[i] < 0 {
 					continue
 				}
-				if cur < 0 || dist[i] < dist[cur] ||
+				if cur < 0 || dist[i] < dist[cur] || //evm:allow-floatacc deliberate tie-break: both sides are the same deterministic sum of link weights, equal only when bit-identical
 					(dist[i] == dist[cur] && hops[i] < hops[cur]) {
 					cur = i
 				}
@@ -381,7 +382,7 @@ func (b *Backbone) computeRoutes() {
 				nd := dist[cur] + linkWeight(b.linkConfig(cur, nb))
 				nh := hops[cur] + 1
 				better := dist[nb] < 0 || nd < dist[nb] ||
-					(nd == dist[nb] && nh < hops[nb]) ||
+					(nd == dist[nb] && nh < hops[nb]) || //evm:allow-floatacc deliberate tie-break on exactly-equal path weights; the same weights sum in the same order on every run
 					(nd == dist[nb] && nh == hops[nb] && cur < prev[nb])
 				if better {
 					dist[nb], hops[nb], prev[nb] = nd, nh, cur

@@ -91,7 +91,7 @@ func main() {
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	client := &http.Client{Timeout: 30 * time.Second}
-	submitStart := time.Now()
+	submitStart := time.Now() //evm:allow-wallclock load harness measures real daemon throughput, not simulated time
 	for w := 0; w < *conc; w++ {
 		wg.Add(1)
 		go func() {
@@ -104,9 +104,9 @@ func main() {
 					Seed:      seed,
 					HorizonMS: horizon.Milliseconds(),
 				})
-				start := time.Now()
+				start := time.Now() //evm:allow-wallclock real HTTP request latency is the measurement
 				resp, err := client.Post(base+"/v1/runs", "application/json", bytes.NewReader(body))
-				oc := outcome{idx: i, seed: seed, latency: time.Since(start), err: err}
+				oc := outcome{idx: i, seed: seed, latency: time.Since(start), err: err} //evm:allow-wallclock real HTTP request latency is the measurement
 				if err == nil {
 					oc.status = resp.StatusCode
 					var sub evmd.SubmitResponse
@@ -124,7 +124,7 @@ func main() {
 	}
 	close(jobs)
 	wg.Wait()
-	submitWall := time.Since(submitStart)
+	submitWall := time.Since(submitStart) //evm:allow-wallclock load harness measures real daemon throughput
 
 	accepted, rejected429, refused503, hardErrs := 0, 0, 0, 0
 	var latencies []time.Duration
@@ -168,20 +168,21 @@ func main() {
 
 	// Wait for the daemon to finish every accepted run.
 	var stats evmd.Stats
-	deadline := time.Now().Add(*timeout)
+	deadline := time.Now().Add(*timeout) //evm:allow-wallclock harness timeout against a real daemon
 	for {
 		stats = getStats(client, base)
 		if int(stats.Completed+stats.Failed+stats.Cancelled) >= accepted {
 			break
 		}
+		//evm:allow-wallclock harness timeout against a real daemon
 		if time.Now().After(deadline) {
 			fmt.Printf("evmload: FAIL — timeout with %d/%d runs finished\n",
 				stats.Completed+stats.Failed+stats.Cancelled, accepted)
 			os.Exit(1)
 		}
-		time.Sleep(10 * time.Millisecond)
+		time.Sleep(10 * time.Millisecond) //evm:allow-wallclock completion polling against a real daemon
 	}
-	totalWall := time.Since(submitStart)
+	totalWall := time.Since(submitStart) //evm:allow-wallclock load harness measures real daemon throughput
 	fmt.Printf("  completion         %d done in %v (%.0f runs/sec end-to-end)\n",
 		stats.Completed, totalWall.Round(time.Millisecond), float64(accepted)/totalWall.Seconds())
 	fmt.Printf("  queue depth        peak %d (bound %d)\n", stats.PeakQueueDepth, stats.QueueBound)

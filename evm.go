@@ -547,10 +547,11 @@ func (c *Cell) Run(d time.Duration) {
 // Now returns the current virtual time.
 func (c *Cell) Now() time.Duration { return c.eng.Now() }
 
-// Stop halts the network and all node runtimes.
+// Stop halts the network and all node runtimes. Nodes stop in sorted
+// ID order so any teardown side effects land deterministically.
 func (c *Cell) Stop() {
 	c.net.Stop()
-	for _, n := range c.nodes {
-		n.Stop()
+	for _, id := range sim.SortedKeys(c.nodes) {
+		c.nodes[id].Stop()
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -90,10 +91,42 @@ func TestEvictionUnderLoad(t *testing.T) {
 	}
 }
 
+// fakeClock is a manually-advanced Clock injected via Config.Clock so
+// TTL tests control elapsed time instead of sleeping through it.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// After returns a channel that never fires: tests wait for work to
+// finish before draining, so a drain that would need the timeout is a
+// bug and should surface as a hang, not a silent pass.
+func (c *fakeClock) After(time.Duration) <-chan time.Time {
+	return make(chan time.Time)
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
 // TestEvictionTTL: finished runs expire RunTTL after completion; live
-// state is never evicted.
+// state is never evicted. The injected fake clock makes the TTL window
+// explicit — nothing is evicted one tick short of it, everything at it.
 func TestEvictionTTL(t *testing.T) {
-	s := NewServer(Config{Workers: 2, QueueDepth: 16, RunTTL: 30 * time.Millisecond})
+	clk := newFakeClock()
+	s := NewServer(Config{Workers: 2, QueueDepth: 16, RunTTL: 30 * time.Second, Clock: clk})
 	defer s.Drain(0)
 
 	spec := evm.RunSpec{Scenario: evm.ScenarioEightController, Seed: 1, Horizon: 500 * time.Millisecond}
@@ -104,7 +137,16 @@ func TestEvictionTTL(t *testing.T) {
 	for _, r := range runs {
 		waitState(t, r)
 	}
-	time.Sleep(60 * time.Millisecond)
+	// Every run finished at the fake clock's current instant; just short
+	// of the TTL the table must be untouched.
+	clk.Advance(30*time.Second - time.Nanosecond)
+	if n := s.EvictNow(); n != 0 {
+		t.Fatalf("EvictNow evicted %d runs before the TTL elapsed, want 0", n)
+	}
+	if got := len(s.Runs("", "")); got != 3 {
+		t.Fatalf("run table holds %d runs inside TTL, want 3", got)
+	}
+	clk.Advance(time.Nanosecond)
 	if n := s.EvictNow(); n != 3 {
 		t.Fatalf("EvictNow evicted %d runs, want 3", n)
 	}

@@ -48,7 +48,29 @@ type Config struct {
 	// runs are never evicted, so the table may transiently exceed the cap
 	// under a burst of in-flight work). Zero means unbounded.
 	MaxRuns int
+	// Clock supplies the host time used for run timestamps, TTL eviction
+	// and drain timeouts. Nil means the real wall clock; tests inject a
+	// fake so TTL behavior is exercised without sleeping.
+	Clock Clock
 }
+
+// Clock abstracts the host wall clock at the daemon boundary. The
+// simulation itself never sees it — runs advance on virtual time — but
+// admission timestamps, TTL eviction and drain timeouts are genuinely
+// host-side concerns, and injecting the clock lets tests drive them
+// deterministically.
+type Clock interface {
+	Now() time.Time
+	After(d time.Duration) <-chan time.Time
+}
+
+type realClock struct{}
+
+//evm:allow-wallclock host boundary: evmd stamps real submission/start/finish times when no fake clock is injected
+func (realClock) Now() time.Time { return time.Now() }
+
+//evm:allow-wallclock host boundary: real drain timeout when no fake clock is injected
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
 
 func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
@@ -62,6 +84,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 30 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = realClock{}
 	}
 	return c
 }
@@ -265,7 +290,7 @@ func (s *Server) Submit(tenant string, specs ...evm.RunSpec) ([]*Run, error) {
 			return nil, fmt.Errorf("evmd: unknown scenario %q", spec.Scenario)
 		}
 	}
-	now := time.Now()
+	now := s.cfg.Clock.Now()
 	s.mu.Lock()
 	runs := make([]*Run, len(specs))
 	for i, spec := range specs {
@@ -294,7 +319,7 @@ func (s *Server) Submit(tenant string, specs ...evm.RunSpec) ([]*Run, error) {
 		s.order = append(s.order, run.ID)
 		s.tenants[tenant] = append(s.tenants[tenant], run)
 	}
-	s.evictLocked(time.Now())
+	s.evictLocked(s.cfg.Clock.Now())
 	s.mu.Unlock()
 	s.accepted.Add(int64(len(specs)))
 	return runs, nil
@@ -371,7 +396,7 @@ func (s *Server) evictLocked(now time.Time) int {
 func (s *Server) EvictNow() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.evictLocked(time.Now())
+	return s.evictLocked(s.cfg.Clock.Now())
 }
 
 // lookupRun distinguishes a live run, an evicted run, and an ID the
@@ -397,7 +422,7 @@ func (s *Server) execute(run *Run) {
 	defer s.running.Add(-1)
 	run.mu.Lock()
 	run.state = RunRunning
-	run.startedAt = time.Now()
+	run.startedAt = s.cfg.Clock.Now()
 	run.mu.Unlock()
 
 	runner := &evm.Runner{
@@ -438,7 +463,7 @@ func (s *Server) execute(run *Run) {
 	res := runner.RunOne(run.Spec)
 
 	run.mu.Lock()
-	run.finishedAt = time.Now()
+	run.finishedAt = s.cfg.Clock.Now()
 	run.metrics = res.Metrics
 	if res.Err != nil {
 		run.state = RunFailed
@@ -454,7 +479,7 @@ func (s *Server) execute(run *Run) {
 		s.done.Add(1)
 	}
 	s.mu.Lock()
-	s.evictLocked(time.Now())
+	s.evictLocked(s.cfg.Clock.Now())
 	s.mu.Unlock()
 }
 
@@ -606,7 +631,7 @@ func (s *Server) Drain(timeout time.Duration) DrainReport {
 	for _, run := range s.queue.close() {
 		run.mu.Lock()
 		run.state = RunCancelled
-		run.finishedAt = time.Now()
+		run.finishedAt = s.cfg.Clock.Now()
 		run.mu.Unlock()
 		run.stream.close()
 		s.cancels.Add(1)
@@ -619,7 +644,7 @@ func (s *Server) Drain(timeout time.Duration) DrainReport {
 	}()
 	select {
 	case <-idle:
-	case <-time.After(timeout):
+	case <-s.cfg.Clock.After(timeout):
 		rep.TimedOut = true
 	}
 	return rep

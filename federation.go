@@ -222,6 +222,7 @@ func NewCampus(cfg CampusConfig, specs ...CellSpec) (*Campus, error) {
 		// the global virtual-time order and fully deterministic.
 		cellName := name
 		cell.Events().Subscribe(func(ev Event) {
+			//evm:allow-eventorder synchronous bus-to-bus bridge: cells share one engine, campus subscribers never publish back into a cell bus, so delivery cannot re-enter or reorder
 			c.bus().publish(CellEvent{Cell: cellName, Inner: ev})
 		})
 		if err := cell.Deploy(cs.VC); err != nil {
@@ -426,6 +427,7 @@ type TaskPlacement struct {
 // task, keyed "<origin-cell>/<task-id>".
 func (c *Campus) TaskPlacements() map[string]TaskPlacement {
 	out := make(map[string]TaskPlacement, len(c.placements))
+	//evm:allow-maporder keyed map copy: each entry is written independently and cellName is a pure index lookup, so visit order cannot be observed
 	for key, p := range c.placements {
 		out[key] = TaskPlacement{Cell: c.cellName(p.cell), Node: p.node, Foreign: p.foreign}
 	}
@@ -587,7 +589,11 @@ func (c *Campus) demoteStaleMasters(origin int) {
 func (c *Campus) loads() (count []int, util []float64) {
 	count = make([]int, len(c.cells))
 	util = make([]float64, len(c.cells))
-	for _, q := range c.placements {
+	// Sorted placement order: the per-cell utilization sums are float
+	// accumulations, and placement policies compare them — a map-order
+	// sum could flip a policy tie between same-seed runs.
+	for _, key := range sim.SortedKeys(c.placements) {
+		q := c.placements[key]
 		u := q.spec.RTOSTask().Utilization()
 		count[q.cell]++
 		if q.migrating {

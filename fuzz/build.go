@@ -307,6 +307,7 @@ func buildCampus(s Spec, run evm.RunSpec) (*evm.Experiment, error) {
 		Metrics: func() map[string]float64 {
 			placements := campus.TaskPlacements()
 			foreign, alive := 0, 0
+			//evm:allow-maporder commutative integer counts over pure read-only lookups; visit order cannot change the totals
 			for _, p := range placements {
 				if p.Foreign {
 					foreign++

@@ -58,6 +58,7 @@ func (p *PID) Update(setpoint, measured, dt float64) float64 {
 	raw := p.Kp*err + p.integ + p.Ki*err*dt + p.Kd*deriv
 	out := p.clamp(raw)
 	// Anti-windup: only integrate when not pushing further into the rail.
+	//evm:allow-floatacc clamp returns raw unchanged or the exact rail constant, so these equalities are exact by construction
 	if out == raw || (out == p.OutMax && err < 0) || (out == p.OutMin && err > 0) {
 		p.integ += p.Ki * err * dt
 	}

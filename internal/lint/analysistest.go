@@ -1,0 +1,124 @@
+package lint
+
+// This file is the fixture harness: the stdlib-only stand-in for
+// golang.org/x/tools/go/analysis/analysistest. Fixture packages live
+// under testdata/<analyzer>/ and mark expected diagnostics with the
+// analysistest "want" convention — a trailing comment on the offending
+// line holding one or more quoted regular expressions:
+//
+//	for k := range m { // want `range over map m`
+//
+// A fixture passes when every surviving (non-suppressed) diagnostic on
+// a line matches one of that line's want patterns, and every want
+// pattern is matched by at least one diagnostic. Known-good fixture
+// files simply carry no want comments: any diagnostic there fails the
+// fixture, which is how the benign idioms and //evm:allow-* escape
+// hatches are proven to pass.
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// wantExpect is one parsed expectation from a // want comment.
+type wantExpect struct {
+	file    string
+	line    int
+	raw     string
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantArgRe pulls the individual quoted patterns out of a want comment;
+// both backtick and double-quote forms are accepted.
+var wantArgRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// CheckFixture loads the single package under dir, runs the analyzer
+// over it with //evm:allow-* suppression applied (malformed annotations
+// surface as "annotation" diagnostics, exactly as in a real sweep), and
+// compares the surviving diagnostics against the fixture's want
+// comments. The returned strings are human-readable mismatches; an
+// empty slice means the fixture passed.
+func CheckFixture(dir string, a *Analyzer) ([]string, error) {
+	pkg, err := LoadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	anns := collectAnnotations(pkg)
+	diags, err := a.run(pkg)
+	if err != nil {
+		return nil, err
+	}
+	findings := append([]Finding(nil), anns.malformed...)
+	for _, d := range diags {
+		f := Finding{Analyzer: a.Name, Pos: pkg.Fset.Position(d.Pos), Message: d.Message}
+		if _, ok := anns.allows(a.Name, f.Pos); ok {
+			continue
+		}
+		findings = append(findings, f)
+	}
+	sortFindings(findings)
+	wants, err := collectWants(pkg)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	for _, f := range findings {
+		if !claimWant(wants, f) {
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic at %s: %s (%s)", f.Pos, f.Message, f.Analyzer))
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			problems = append(problems, fmt.Sprintf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.raw))
+		}
+	}
+	return problems, nil
+}
+
+// collectWants scans the fixture's comments for want expectations.
+func collectWants(pkg *Package) ([]*wantExpect, error) {
+	var wants []*wantExpect
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				args := wantArgRe.FindAllStringSubmatch(rest, -1)
+				if len(args) == 0 {
+					return nil, fmt.Errorf("%s:%d: want comment holds no quoted pattern", pos.Filename, pos.Line)
+				}
+				for _, m := range args {
+					raw := m[1]
+					if raw == "" {
+						raw = m[2]
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: want pattern %q: %v", pos.Filename, pos.Line, raw, err)
+					}
+					wants = append(wants, &wantExpect{file: pos.Filename, line: pos.Line, raw: raw, re: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// claimWant marks the first unmatched want on the finding's line whose
+// pattern matches the message, reporting whether one was found.
+func claimWant(wants []*wantExpect, f Finding) bool {
+	for _, w := range wants {
+		if w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+			if !w.matched {
+				w.matched = true
+			}
+			return true
+		}
+	}
+	return false
+}

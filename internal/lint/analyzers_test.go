@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testFixture runs one analyzer over its testdata package and compares
+// the diagnostics against the fixture's want comments: seeded-bad code
+// must be flagged with the expected message, known-good code (benign
+// idioms, reasoned escape hatches) must stay silent.
+func testFixture(t *testing.T, name string) {
+	t.Helper()
+	a := AnalyzerByName(name)
+	if a == nil {
+		t.Fatalf("no analyzer %q in the suite", name)
+	}
+	problems, err := CheckFixture(filepath.Join("testdata", name), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
+func TestMapOrderFixture(t *testing.T)   { testFixture(t, "maporder") }
+func TestWallClockFixture(t *testing.T)  { testFixture(t, "wallclock") }
+func TestGoroutineFixture(t *testing.T)  { testFixture(t, "goroutine") }
+func TestEventOrderFixture(t *testing.T) { testFixture(t, "eventorder") }
+func TestFloatAccFixture(t *testing.T)   { testFixture(t, "floatacc") }
+
+// TestAnnotationContract: a suppression with no reason, or naming an
+// unknown analyzer, is itself a finding and suppresses nothing. (These
+// are asserted directly rather than through want comments: a want
+// comment on the annotation's own line would become its reason text.)
+func TestAnnotationContract(t *testing.T) {
+	pkg, err := LoadDir(filepath.Join("testdata", "annotation"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	anns := collectAnnotations(pkg)
+	if len(anns.byKey) != 0 {
+		t.Errorf("malformed annotations suppressed %d line keys, want 0", len(anns.byKey))
+	}
+	if len(anns.malformed) != 2 {
+		t.Fatalf("got %d malformed-annotation findings, want 2: %v", len(anns.malformed), anns.malformed)
+	}
+	for _, f := range anns.malformed {
+		if f.Analyzer != "annotation" {
+			t.Errorf("finding %v attributed to %q, want \"annotation\"", f, f.Analyzer)
+		}
+	}
+	if !strings.Contains(anns.malformed[0].Message, "missing its reason") {
+		t.Errorf("first finding %q, want the missing-reason diagnostic", anns.malformed[0].Message)
+	}
+	if !strings.Contains(anns.malformed[1].Message, "names no analyzer") {
+		t.Errorf("second finding %q, want the unknown-analyzer diagnostic", anns.malformed[1].Message)
+	}
+	// The bare annotation must not have silenced the map ranges below it.
+	diags, err := MapOrder.run(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Errorf("maporder found %d ranges in the annotation fixture, want 2", len(diags))
+	}
+}
+
+// TestSweepClean is the integration gate: the repository's own tree
+// must pass the full suite, so every escape hatch carries a reason and
+// no new nondeterminism slips in. This is the same sweep CI runs via
+// cmd/evmvet.
+func TestSweepClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module type-check sweep")
+	}
+	res, err := RunSuite(filepath.Join("..", ".."), "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Findings {
+		t.Errorf("%s", f)
+	}
+	if res.Packages == 0 {
+		t.Error("sweep loaded 0 packages")
+	}
+	for _, s := range res.Suppressed {
+		if strings.TrimSpace(s.Reason) == "" {
+			t.Errorf("%s: suppressed without a reason", s.Pos)
+		}
+	}
+}

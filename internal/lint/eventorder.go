@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// EventOrder guards the event bus's delivery contract: publish is
+// synchronous and subscriber callbacks run in subscription order, so
+// publishing while holding a mutex invites lock-order deadlocks
+// (subscribers are arbitrary code), and publishing from inside another
+// subscriber callback interleaves event streams re-entrantly, breaking
+// the deterministic publication order the byte-identical logs rely on.
+var EventOrder = &Analyzer{
+	Name: "eventorder",
+	Doc: `eventorder flags event-bus Publish calls made while holding a mutex
+or from inside a subscriber callback.
+
+Bus delivery is synchronous: Publish runs every subscriber before it
+returns. Under a held mutex that hands arbitrary subscriber code the
+lock (deadlock and lock-order hazard); inside another subscriber it
+nests one event's delivery inside another's, so observers see the
+streams interleaved re-entrantly instead of in publication order.
+Publish after the critical section, or trampoline through the engine.
+Deliberate exceptions carry //evm:allow-eventorder <reason>.`,
+	Run: runEventOrder,
+}
+
+// busReceiver reports whether call is a method call on the event bus
+// (a named type "Bus" or "*Bus"; the suffix match also covers fixture
+// and future per-subsystem buses like "CampusBus").
+func busReceiver(p *Pass, call *ast.CallExpr, method string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return false
+	}
+	name := recvTypeName(p.TypesInfo, call)
+	return name == "Bus" || strings.HasSuffix(name, "Bus")
+}
+
+// isPublish matches Bus.Publish and the unexported Bus.publish.
+func isPublish(p *Pass, call *ast.CallExpr) bool {
+	return busReceiver(p, call, "Publish") || busReceiver(p, call, "publish")
+}
+
+// isMutexOp matches sync.Mutex/RWMutex Lock/RLock/Unlock/RUnlock calls
+// (including through embedding) and returns the method name.
+func isMutexOp(p *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", false
+	}
+	selection, ok := p.TypesInfo.Selections[sel]
+	if !ok {
+		return "", false
+	}
+	obj := selection.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+func runEventOrder(p *Pass) error {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if body := funcBody(n); body != nil {
+				checkPublishUnderLock(p, body)
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				checkSubscriberPublish(p, call)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkPublishUnderLock walks one function body in source order,
+// tracking how many mutexes are held; a Publish at depth > 0 is
+// flagged. defer'd Unlocks do not release (the lock is held for the
+// rest of the function). Nested function literals are separate
+// functions with their own (empty) lock state.
+func checkPublishUnderLock(p *Pass, body *ast.BlockStmt) {
+	depth := 0
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			// defer mu.Unlock() keeps the lock held; skip so the Unlock
+			// inside is not counted as a release here.
+			return false
+		case *ast.CallExpr:
+			if op, ok := isMutexOp(p, s); ok {
+				switch op {
+				case "Lock", "RLock":
+					depth++
+				case "Unlock", "RUnlock":
+					if depth > 0 {
+						depth--
+					}
+				}
+				return true
+			}
+			if depth > 0 && isPublish(p, s) {
+				p.Reportf(s.Pos(), "event-bus publish while holding a mutex: delivery is synchronous and runs arbitrary subscriber code under the lock (deadlock/ordering hazard); publish after the critical section")
+			}
+		}
+		return true
+	})
+}
+
+// checkSubscriberPublish flags Publish calls inside a function literal
+// passed to Bus.Subscribe.
+func checkSubscriberPublish(p *Pass, call *ast.CallExpr) {
+	if !busReceiver(p, call, "Subscribe") {
+		return
+	}
+	for _, arg := range call.Args {
+		lit, ok := arg.(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			inner, ok := n.(*ast.CallExpr)
+			if ok && isPublish(p, inner) {
+				p.Reportf(inner.Pos(), "event-bus publish from inside a subscriber callback: delivery would nest re-entrantly and interleave event streams out of publication order; record and publish after delivery, or schedule via the engine")
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+)
+
+// FloatAcc guards the metrics/QoS numerics: float equality is
+// representation-error roulette, and float accumulation over a map
+// range sums in random order — float addition is not associative, so
+// the total (and every metric derived from it) can differ between
+// same-seed runs.
+var FloatAcc = &Analyzer{
+	Name: "floatacc",
+	Doc: `floatacc flags == and != on floating-point operands and float
+accumulation inside map ranges.
+
+Equality on computed floats compares accumulated representation error;
+comparisons against the exact literal 0 (zero-value/sentinel checks)
+are allowed. Compound float accumulation (sum += v) inside a map range
+is order-dependent because float addition is not associative: iterate
+a sorted key slice instead. Deliberate exceptions carry
+//evm:allow-floatacc <reason>.`,
+	Run: runFloatAcc,
+}
+
+func runFloatAcc(p *Pass) error {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				checkFloatEquality(p, e)
+			case *ast.RangeStmt:
+				if isMap(p.TypeOf(e.X)) {
+					checkFloatAccumulation(p, e)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkFloatEquality(p *Pass, e *ast.BinaryExpr) {
+	if e.Op != token.EQL && e.Op != token.NEQ {
+		return
+	}
+	if !isFloat(p.TypeOf(e.X)) && !isFloat(p.TypeOf(e.Y)) {
+		return
+	}
+	// x == 0 against the exact literal zero is a well-defined
+	// zero-value/sentinel check, not an accumulated-value comparison.
+	if isExactZero(p, e.X) || isExactZero(p, e.Y) {
+		return
+	}
+	p.Reportf(e.Pos(), "%s on floating-point values compares accumulated representation error and can flip between platforms/orders; compare within an epsilon or restructure", e.Op)
+}
+
+func isExactZero(p *Pass, e ast.Expr) bool {
+	tv, ok := p.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return constant.Compare(tv.Value, token.EQL, constant.MakeInt64(0))
+}
+
+// checkFloatAccumulation flags float compound-assignment accumulation
+// in the body of a map range (nested function literals excluded: they
+// do not execute during the iteration unless called, and calls inside
+// the body are flagged via their own bodies when in scope).
+func checkFloatAccumulation(p *Pass, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		default:
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if isFloat(p.TypeOf(lhs)) {
+				p.Reportf(as.Pos(), "float accumulation inside a map range: float addition is not associative, so the randomized iteration order changes the sum between same-seed runs; extract and sort the keys, then accumulate in sorted order")
+				return true
+			}
+		}
+		return true
+	})
+}

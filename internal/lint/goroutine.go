@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// Goroutine keeps deterministic engine/core/federation code
+// single-threaded: the simulation executes as one serial virtual-time
+// loop, and concurrency belongs only to the Runner worker pool and the
+// evmd service layer, which parallelize across runs, never inside one.
+var Goroutine = &Analyzer{
+	Name: "goroutine",
+	Doc: `goroutine flags go statements and unbuffered-channel handoffs in
+deterministic packages.
+
+A goroutine inside engine/core/federation code races the virtual-time
+loop: scheduling order leaks into event order and same-seed runs
+diverge. Unbuffered channels are the synchronous-handoff primitive that
+smuggles such cross-goroutine coupling in. Concurrency lives in the
+Runner/evmd layers, which fan out whole runs; anything inside one run
+is serial. Host-boundary exceptions carry //evm:allow-goroutine
+<reason>.`,
+	Run: runGoroutine,
+}
+
+func runGoroutine(p *Pass) error {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.GoStmt:
+				p.Reportf(s.Pos(), "go statement in deterministic code: goroutine scheduling order would leak into the event stream; concurrency belongs to the Runner/evmd layers")
+			case *ast.CallExpr:
+				if unbufferedChanMake(p, s) {
+					p.Reportf(s.Pos(), "unbuffered channel in deterministic code: synchronous handoffs couple event order to goroutine scheduling; deterministic code is single-threaded")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// unbufferedChanMake matches make(chan T) and make(chan T, 0).
+func unbufferedChanMake(p *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return false
+	}
+	if _, isBuiltin := p.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	if len(call.Args) == 0 {
+		return false
+	}
+	t := p.TypeOf(call.Args[0])
+	if t == nil {
+		return false
+	}
+	if _, isChan := t.Underlying().(*types.Chan); !isChan {
+		return false
+	}
+	if len(call.Args) == 1 {
+		return true
+	}
+	tv, ok := p.TypesInfo.Types[call.Args[1]]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	sz, ok := constant.Int64Val(tv.Value)
+	return ok && sz == 0
+}

@@ -1,0 +1,224 @@
+package lint
+
+import (
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Finding is one confirmed diagnostic after suppression annotations are
+// applied.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return f.Pos.String() + ": " + f.Message + " (" + f.Analyzer + ")"
+}
+
+// Suppressed is one finding silenced by an //evm:allow-<analyzer>
+// annotation, kept for -v reporting so the escape hatches stay visible.
+type Suppressed struct {
+	Finding
+	Reason string
+}
+
+// suiteEntry binds an analyzer to the import paths it governs.
+type suiteEntry struct {
+	analyzer *Analyzer
+	applies  func(pkgPath string) bool
+}
+
+// deterministic reports whether pkgPath is on the simulated path, where
+// every run must be byte-identical per seed: the root evm package, the
+// internal engine/core/federation tree, and the seeded fuzz generator.
+func deterministic(pkgPath string) bool {
+	return pkgPath == "evm" ||
+		strings.HasPrefix(pkgPath, "evm/internal/") ||
+		pkgPath == "evm/fuzz"
+}
+
+// hostBoundary reports whether pkgPath is host-harness code (daemons,
+// CLIs) where wall-clock use is legitimate at the edges but still must
+// be visible: the wallclock analyzer runs there too and real boundary
+// sites carry reasoned //evm:allow-wallclock annotations.
+func hostBoundary(pkgPath string) bool {
+	return pkgPath == "evm/evmd" || strings.HasPrefix(pkgPath, "evm/cmd/")
+}
+
+// Suite is the project checker set, in reporting order.
+func Suite() []*Analyzer {
+	return []*Analyzer{MapOrder, WallClock, Goroutine, EventOrder, FloatAcc}
+}
+
+func suite() []suiteEntry {
+	return []suiteEntry{
+		{MapOrder, deterministic},
+		{WallClock, func(p string) bool { return deterministic(p) || hostBoundary(p) }},
+		{Goroutine, deterministic},
+		{EventOrder, deterministic},
+		{FloatAcc, deterministic},
+	}
+}
+
+// AnalyzerByName returns the suite analyzer with that name, or nil.
+func AnalyzerByName(name string) *Analyzer {
+	for _, a := range Suite() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Result is one sweep's outcome.
+type Result struct {
+	Findings   []Finding
+	Suppressed []Suppressed
+	// Packages is how many packages were analyzed.
+	Packages int
+}
+
+// RunSuite loads the packages matched by patterns (relative to dir,
+// default "./...") and runs every applicable analyzer, honoring
+// //evm:allow-<analyzer> annotations. The sweep fails closed: loader or
+// type-check errors surface as errors, not silence.
+func RunSuite(dir string, patterns ...string) (*Result, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Packages: len(pkgs)}
+	for _, pkg := range pkgs {
+		anns := collectAnnotations(pkg)
+		res.Findings = append(res.Findings, anns.malformed...)
+		for _, entry := range suite() {
+			if !entry.applies(pkg.PkgPath) {
+				continue
+			}
+			diags, err := entry.analyzer.run(pkg)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range diags {
+				f := Finding{
+					Analyzer: entry.analyzer.Name,
+					Pos:      pkg.Fset.Position(d.Pos),
+					Message:  d.Message,
+				}
+				if reason, ok := anns.allows(entry.analyzer.Name, f.Pos); ok {
+					res.Suppressed = append(res.Suppressed, Suppressed{Finding: f, Reason: reason})
+					continue
+				}
+				res.Findings = append(res.Findings, f)
+			}
+		}
+	}
+	sortFindings(res.Findings)
+	sort.Slice(res.Suppressed, func(i, j int) bool {
+		return lessPos(res.Suppressed[i].Pos, res.Suppressed[j].Pos)
+	})
+	return res, nil
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].Pos != fs[j].Pos {
+			return lessPos(fs[i].Pos, fs[j].Pos)
+		}
+		return fs[i].Analyzer < fs[j].Analyzer
+	})
+}
+
+func lessPos(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}
+
+// annotationRe matches the escape-hatch comment form. The reason text
+// (everything after the analyzer name) is mandatory.
+var annotationRe = regexp.MustCompile(`^//evm:allow-([a-z]+)(.*)$`)
+
+// annotation is one parsed //evm:allow-<analyzer> <reason> comment.
+type annotation struct {
+	analyzer string
+	reason   string
+	line     int
+	file     string
+}
+
+// annotations indexes a package's escape hatches by file and line. An
+// annotation covers its own source line and the line directly below
+// it, so it works both as an end-of-line comment and as a standalone
+// comment above the flagged statement.
+type annotations struct {
+	byKey     map[string]string // "file:line:analyzer" -> reason
+	malformed []Finding
+}
+
+func (a *annotations) allows(analyzer string, pos token.Position) (string, bool) {
+	reason, ok := a.byKey[annKey(pos.Filename, pos.Line, analyzer)]
+	return reason, ok
+}
+
+func annKey(file string, line int, analyzer string) string {
+	return file + ":" + itoa(line) + ":" + analyzer
+}
+
+func itoa(n int) string {
+	// strconv-free to keep the hot path allocation-simple.
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func collectAnnotations(pkg *Package) *annotations {
+	anns := &annotations{byKey: make(map[string]string)}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := annotationRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				name, reason := m[1], strings.TrimSpace(m[2])
+				if AnalyzerByName(name) == nil {
+					anns.malformed = append(anns.malformed, Finding{
+						Analyzer: "annotation",
+						Pos:      pos,
+						Message:  "evm:allow-" + name + " names no analyzer in the suite",
+					})
+					continue
+				}
+				if reason == "" {
+					anns.malformed = append(anns.malformed, Finding{
+						Analyzer: "annotation",
+						Pos:      pos,
+						Message:  "evm:allow-" + name + " annotation is missing its reason: every escape hatch must say why the wall-clock/nondeterminism is safe here",
+					})
+					continue
+				}
+				anns.byKey[annKey(pos.Filename, pos.Line, name)] = reason
+				anns.byKey[annKey(pos.Filename, pos.Line+1, name)] = reason
+			}
+		}
+	}
+	return anns
+}

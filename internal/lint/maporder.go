@@ -1,0 +1,331 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder generalizes the PR-1 radio-medium bug (per-slot loss draws
+// consumed in Go map order made same-seed runs diverge): in
+// deterministic packages, ranging over a map is only legal when the
+// iteration is provably order-insensitive or the keys are extracted
+// into a slice that is sorted before use.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: `maporder flags range statements over maps in deterministic packages.
+
+Go randomizes map iteration order, so any map range whose body's effect
+depends on visit order makes same-seed runs diverge. Allowed forms:
+  - key/value extraction into a slice that a later statement in the same
+    function sorts (sort.Strings/Ints/Slice/SliceStable, slices.Sort*);
+  - commutative writes into another map, or delete;
+  - exactly-commutative integer aggregation (n++, sum += v on integer
+    types);
+  - the above under call-free if conditions or nested ranges over
+    slices (calls in a guard may consume RNG draws or otherwise depend
+    on visit order, so they disqualify).
+Everything else must iterate a sorted key slice instead, or carry an
+//evm:allow-maporder <reason> annotation.`,
+	Run: runMapOrder,
+}
+
+func runMapOrder(p *Pass) error {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fn := funcBody(n)
+			if fn == nil {
+				return true
+			}
+			checkMapRanges(p, fn)
+			return true
+		})
+	}
+	return nil
+}
+
+// funcBody returns the body when n declares a function.
+func funcBody(n ast.Node) *ast.BlockStmt {
+	switch d := n.(type) {
+	case *ast.FuncDecl:
+		return d.Body
+	case *ast.FuncLit:
+		return d.Body
+	}
+	return nil
+}
+
+// checkMapRanges flags the map ranges directly inside body (nested
+// function literals are visited as their own functions).
+func checkMapRanges(p *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if !isMap(p.TypeOf(rs.X)) {
+			return true
+		}
+		if benignMapRange(p, rs, body) {
+			return true
+		}
+		p.Reportf(rs.Pos(), "range over map %s in deterministic code: iteration order is randomized, so the result can differ between same-seed runs; extract the keys into a slice, sort it, and range over that instead", render(p.Fset, rs.X))
+		return true
+	})
+}
+
+// benignMapRange reports whether every statement in the range body is
+// order-insensitive. fnBody is the enclosing function body, searched
+// for the sort call that legalizes the extract-keys idiom.
+func benignMapRange(p *Pass, rs *ast.RangeStmt, fnBody *ast.BlockStmt) bool {
+	var extracted []ast.Expr // slices collecting keys/values, must be sorted later
+	if !benignStmts(p, rs.Body.List, &extracted, false) {
+		return false
+	}
+	for _, slice := range extracted {
+		if !sortedAfter(p, fnBody, slice, rs.End()) {
+			return false
+		}
+	}
+	return true
+}
+
+// benignStmts checks a statement list for order-insensitivity,
+// recording extraction targets that need a later sort. allowBreak is
+// true inside nested loops, where break exits the inner loop only; at
+// the map range's own level a break makes the outcome depend on which
+// entry is visited first.
+func benignStmts(p *Pass, stmts []ast.Stmt, extracted *[]ast.Expr, allowBreak bool) bool {
+	for _, st := range stmts {
+		if !benignStmt(p, st, extracted, allowBreak) {
+			return false
+		}
+	}
+	return true
+}
+
+func benignStmt(p *Pass, st ast.Stmt, extracted *[]ast.Expr, allowBreak bool) bool {
+	switch s := st.(type) {
+	case *ast.AssignStmt:
+		return benignAssign(p, s, extracted)
+	case *ast.IncDecStmt:
+		// n++ / n-- on integers is exactly commutative.
+		return isInteger(p.TypeOf(s.X))
+	case *ast.ExprStmt:
+		// delete(other, k) removes by key: order-insensitive.
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "delete" {
+				if _, isBuiltin := p.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					return true
+				}
+			}
+		}
+		return false
+	case *ast.IfStmt:
+		// A call-free guard cannot consume RNG draws or mutate state, so
+		// guarded benign statements stay order-insensitive. Guarded
+		// scalar selection ("best so far") is still rejected because
+		// plain scalar assignment is not in the benign set.
+		if hasCall(p, s.Cond) || initHasCall(p, s.Init) {
+			return false
+		}
+		if !benignStmts(p, s.Body.List, extracted, allowBreak) {
+			return false
+		}
+		switch e := s.Else.(type) {
+		case nil:
+			return true
+		case *ast.BlockStmt:
+			return benignStmts(p, e.List, extracted, allowBreak)
+		case *ast.IfStmt:
+			return benignStmt(p, e, extracted, allowBreak)
+		default:
+			return false
+		}
+	case *ast.RangeStmt:
+		// A nested range over a slice/array (deterministic order, no
+		// calls in the operand) is benign when its body is.
+		if isMap(p.TypeOf(s.X)) || hasCall(p, s.X) {
+			return false
+		}
+		return benignStmts(p, s.Body.List, extracted, true)
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.CONTINUE:
+			return true
+		case token.BREAK:
+			return allowBreak
+		}
+		return false
+	}
+	return false
+}
+
+func initHasCall(p *Pass, init ast.Stmt) bool {
+	if init == nil {
+		return false
+	}
+	as, ok := init.(*ast.AssignStmt)
+	if !ok {
+		return true
+	}
+	for _, rhs := range as.Rhs {
+		if hasCall(p, rhs) {
+			return true
+		}
+	}
+	return false
+}
+
+func benignAssign(p *Pass, s *ast.AssignStmt, extracted *[]ast.Expr) bool {
+	// keys = append(keys, k): extraction, legal iff sorted later.
+	if s.Tok == token.ASSIGN && len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+		if call, ok := s.Rhs[0].(*ast.CallExpr); ok && isAppendTo(p, call, s.Lhs[0]) {
+			*extracted = append(*extracted, s.Lhs[0])
+			return true
+		}
+		// dst[k] = v: keyed map write, commutative across distinct keys.
+		if ix, ok := s.Lhs[0].(*ast.IndexExpr); ok && isMap(p.TypeOf(ix.X)) && !hasCall(p, s.Rhs[0]) {
+			return true
+		}
+	}
+	return isIntCompound(p, s)
+}
+
+// isIntCompound matches sum += v / sum |= v ... on integer types with a
+// call-free right-hand side.
+func isIntCompound(p *Pass, s *ast.AssignStmt) bool {
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+	default:
+		return false
+	}
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 || hasCall(p, s.Rhs[0]) {
+		return false
+	}
+	return isInteger(p.TypeOf(s.Lhs[0]))
+}
+
+func isInteger(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// isAppendTo matches append(dst, ...) assigned back to dst, where dst
+// is an identifier or a field-selector path (r.Checkers).
+func isAppendTo(p *Pass, call *ast.CallExpr, dst ast.Expr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if _, isBuiltin := p.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	if len(call.Args) < 1 {
+		return false
+	}
+	return exprPath(call.Args[0]) != "" && exprPath(call.Args[0]) == exprPath(dst)
+}
+
+// exprPath renders an identifier or selector chain ("r.Checkers") as a
+// comparison key; non-path expressions render as "".
+func exprPath(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := exprPath(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	}
+	return ""
+}
+
+// sortedAfter reports whether slice is passed to a sort call after pos
+// in the same function body.
+func sortedAfter(p *Pass, fnBody *ast.BlockStmt, slice ast.Expr, pos token.Pos) bool {
+	want := exprPath(slice)
+	if want == "" {
+		return false
+	}
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		path, name, ok := pkgFunc(p.TypesInfo, sel)
+		if !ok {
+			return true
+		}
+		isSort := path == "sort" && (name == "Strings" || name == "Ints" || name == "Float64s" ||
+			name == "Slice" || name == "SliceStable" || name == "Sort" || name == "Stable")
+		isSlices := path == "slices" && (name == "Sort" || name == "SortFunc" || name == "SortStableFunc")
+		if !isSort && !isSlices {
+			return true
+		}
+		for _, arg := range call.Args {
+			if exprPath(arg) == want {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// hasCall reports whether expr contains a function call that could
+// have side effects or order-dependent results. Type conversions and
+// the pure builtins len/cap/min/max do not count.
+func hasCall(p *Pass, e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	has := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if tv, ok := p.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+			return true // conversion: inspect the operand, not the "call"
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			if _, isBuiltin := p.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+				switch id.Name {
+				case "len", "cap", "min", "max", "make":
+					return true
+				}
+			}
+		}
+		has = true
+		return false
+	})
+	return has
+}
+
+// render pretty-prints an expression for diagnostics.
+func render(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return "?"
+	}
+	return buf.String()
+}

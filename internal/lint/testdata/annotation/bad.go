@@ -1,0 +1,28 @@
+// Package annotation seeds malformed escape hatches: an annotation
+// with no reason and one naming an analyzer that does not exist. Both
+// must surface as findings instead of silently suppressing anything
+// (asserted directly by TestAnnotationContract, not via want comments —
+// a want on the annotation's own line would change how it parses).
+package annotation
+
+import "fmt"
+
+// MissingReason carries a bare escape hatch: the suppression is
+// rejected and the annotation itself becomes a finding.
+//
+//evm:allow-maporder
+func MissingReason(m map[string]int) {
+	for k := range m {
+		fmt.Println(k)
+	}
+}
+
+// UnknownAnalyzer misspells the analyzer name, so it suppresses
+// nothing and is flagged.
+//
+//evm:allow-sloppy the reason does not help if the name is wrong
+func UnknownAnalyzer(m map[string]int) {
+	for k := range m {
+		fmt.Println(k)
+	}
+}

@@ -1,0 +1,25 @@
+package eventorder
+
+// BadPublishLocked publishes while the mutex is held, handing every
+// subscriber arbitrary code under the lock.
+func (b *Bus) BadPublishLocked(ev Event) {
+	b.mu.Lock()
+	b.Publish(ev) // want `publish while holding a mutex`
+	b.mu.Unlock()
+}
+
+// BadDeferredUnlock holds the lock for the whole function body, so the
+// publish still runs under it.
+func (b *Bus) BadDeferredUnlock(ev Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.Publish(ev) // want `publish while holding a mutex`
+}
+
+// BadBridge republishes from inside a subscriber callback, nesting one
+// event's delivery inside another's.
+func BadBridge(from, to *Bus) {
+	from.Subscribe(func(ev Event) {
+		to.Publish(ev) // want `publish from inside a subscriber callback`
+	})
+}

@@ -1,0 +1,28 @@
+// Package eventorder is the seeded-bad / known-good fixture for the
+// eventorder analyzer.
+package eventorder
+
+import "sync"
+
+// Event is the fixture payload.
+type Event struct{ Name string }
+
+// Bus is a minimal synchronous event bus with the shape the analyzer
+// recognizes (a named type ending in "Bus" with Publish/Subscribe).
+type Bus struct {
+	mu   sync.Mutex
+	subs []func(Event)
+}
+
+// Subscribe registers a handler; handlers run synchronously inside
+// Publish, in subscription order.
+func (b *Bus) Subscribe(fn func(Event)) {
+	b.subs = append(b.subs, fn)
+}
+
+// Publish delivers ev to every subscriber before returning.
+func (b *Bus) Publish(ev Event) {
+	for _, fn := range b.subs {
+		fn(ev)
+	}
+}

@@ -1,0 +1,21 @@
+package eventorder
+
+// GoodPublishAfter releases the lock before delivering.
+func (b *Bus) GoodPublishAfter(ev Event) {
+	b.mu.Lock()
+	b.subs = b.subs[:len(b.subs):len(b.subs)]
+	b.mu.Unlock()
+	b.Publish(ev)
+}
+
+// GoodRecordThenPublish collects inside the callback and publishes
+// after delivery returns — the fix the diagnostic suggests.
+func GoodRecordThenPublish(from, to *Bus) {
+	var pending []Event
+	from.Subscribe(func(ev Event) {
+		pending = append(pending, ev)
+	})
+	for _, ev := range pending {
+		to.Publish(ev)
+	}
+}

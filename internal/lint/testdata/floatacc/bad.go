@@ -1,0 +1,23 @@
+// Package floatacc is the seeded-bad / known-good fixture for the
+// floatacc analyzer.
+package floatacc
+
+// BadEqual compares computed floats exactly.
+func BadEqual(a, b float64) bool {
+	return a/3 == b/3 // want `== on floating-point values`
+}
+
+// BadNotEqual is the negated form.
+func BadNotEqual(a, b float64) bool {
+	return a != b // want `!= on floating-point values`
+}
+
+// BadMapSum accumulates a float in randomized map order: addition is
+// not associative, so the total depends on the visit order.
+func BadMapSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `float accumulation inside a map range`
+	}
+	return sum
+}

@@ -1,0 +1,42 @@
+package floatacc
+
+import "sort"
+
+const eps = 1e-9
+
+// GoodEpsilon compares within a tolerance.
+func GoodEpsilon(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < eps
+}
+
+// GoodZeroSentinel compares against the exact literal zero — a
+// well-defined zero-value check, not an accumulated-error comparison.
+func GoodZeroSentinel(v float64) bool { return v == 0 }
+
+// GoodSortedSum accumulates in sorted key order, the fix the
+// diagnostic suggests.
+func GoodSortedSum(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// GoodIntSum: integer accumulation is exact and commutative.
+func GoodIntSum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,18 @@
+// Package goroutine is the seeded-bad / known-good fixture for the
+// goroutine analyzer.
+package goroutine
+
+// BadSpawn forks execution off the virtual-time loop.
+func BadSpawn(f func()) {
+	go f() // want `go statement in deterministic code`
+}
+
+// BadHandoff makes a synchronous rendezvous channel.
+func BadHandoff() chan int {
+	return make(chan int) // want `unbuffered channel in deterministic code`
+}
+
+// BadExplicitZero is the same handoff with the capacity spelled out.
+func BadExplicitZero() chan int {
+	return make(chan int, 0) // want `unbuffered channel in deterministic code`
+}

@@ -1,0 +1,20 @@
+package goroutine
+
+// GoodSerial runs work inline, in slice order, on the single
+// deterministic thread.
+func GoodSerial(fs []func()) {
+	for _, f := range fs {
+		f()
+	}
+}
+
+// GoodBuffered builds a bounded queue, not a synchronous handoff.
+func GoodBuffered() chan int {
+	return make(chan int, 8)
+}
+
+// GoodMakeOthers: non-channel makes are none of this analyzer's
+// business.
+func GoodMakeOthers() ([]int, map[string]int) {
+	return make([]int, 0), make(map[string]int)
+}

@@ -1,0 +1,38 @@
+// Package maporder is the seeded-bad / known-good fixture for the
+// maporder analyzer.
+package maporder
+
+import "fmt"
+
+// emit is an order-dependent sink: any non-builtin call inside a map
+// range makes the iteration order observable.
+func emit(s string) { fmt.Println(s) }
+
+// BadEmit streams map entries in randomized iteration order.
+func BadEmit(m map[string]int) {
+	for k := range m { // want `range over map m in deterministic code`
+		emit(k)
+	}
+}
+
+// BadAppendNoSort extracts the keys but never sorts them, so the slice
+// order is the randomized map order.
+func BadAppendNoSort(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `range over map m`
+		out = append(out, k)
+	}
+	return out
+}
+
+// BadFirstWins keeps whichever entry the iterator happens to visit
+// first: plain assignment is not a commutative aggregation.
+func BadFirstWins(m map[string]int) string {
+	first := ""
+	for k := range m { // want `range over map m`
+		if first == "" {
+			first = k
+		}
+	}
+	return first
+}

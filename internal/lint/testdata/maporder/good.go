@@ -1,0 +1,48 @@
+package maporder
+
+import "sort"
+
+// GoodSorted is the canonical fix: extract the keys, sort them, then
+// range over the slice.
+func GoodSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, k)
+	}
+	return out
+}
+
+// GoodCount aggregates with a commutative integer operation, which no
+// iteration order can change.
+func GoodCount(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// GoodKeyedCopy writes each entry to an independent key: the writes
+// commute, so visit order is unobservable.
+func GoodKeyedCopy(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// GoodDelete clears matching entries; deletions of distinct keys
+// commute.
+func GoodDelete(m map[string]int, cutoff int) {
+	for k, v := range m {
+		if v < cutoff {
+			delete(m, k)
+		}
+	}
+}

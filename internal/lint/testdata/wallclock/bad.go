@@ -1,0 +1,28 @@
+// Package wallclock is the seeded-bad / known-good fixture for the
+// wallclock analyzer.
+package wallclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+// BadStamp reads the host clock on the simulated path.
+func BadStamp() time.Time {
+	return time.Now() // want `time\.Now reads the host clock`
+}
+
+// BadElapsed measures host time.
+func BadElapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since reads the host clock`
+}
+
+// BadWait blocks on the host timer.
+func BadWait() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the host clock`
+}
+
+// BadJitter draws from the global, Go-version-dependent generator.
+func BadJitter() int {
+	return rand.Intn(8) // want `math/rand is banned on the simulation path`
+}

@@ -1,0 +1,16 @@
+package wallclock
+
+import "time"
+
+// GoodVirtual threads virtual time through as data instead of asking
+// the host.
+func GoodVirtual(now, step time.Duration) time.Duration {
+	return now + step
+}
+
+// GoodBoundary is a genuine host-boundary site: the reasoned escape
+// hatch suppresses the finding, which is exactly the annotated form the
+// sweep accepts.
+//
+//evm:allow-wallclock fixture: demonstrates the reasoned escape-hatch form for genuine host-boundary sites
+func GoodBoundary() time.Time { return time.Now() }

@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// wallclockBanned lists the time package's wall-clock and host-timer
+// entry points. Virtual time comes from the engine (sim.Engine.Now);
+// any of these on the simulated path couples results to the host.
+var wallclockBanned = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+	"Sleep":     true,
+}
+
+// WallClock forbids host time and the global math/rand generator in
+// simulation-path and host-boundary packages. Genuine boundary code
+// (HTTP timestamps, harness stopwatches) carries an
+// //evm:allow-wallclock <reason> annotation instead.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc: `wallclock flags host-time and math/rand use.
+
+Simulated time must come from the engine (Cell.Now / Campus.Now /
+sim.Engine.Now) and randomness from seeded sim.NewRNG streams —
+time.Now/Since/Until/After/AfterFunc/Tick/NewTicker/NewTimer/Sleep and
+every math/rand (and math/rand/v2) reference couple run results to the
+host machine, destroying the same-seed ⇒ byte-identical-stream
+contract. Host-boundary code (evmd's HTTP timestamps, cmd/ harness
+stopwatches) annotates each site: //evm:allow-wallclock <reason>.`,
+	Run: runWallClock,
+}
+
+func runWallClock(p *Pass) error {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			path, name, ok := pkgFunc(p.TypesInfo, sel)
+			if !ok {
+				return true
+			}
+			switch path {
+			case "time":
+				if wallclockBanned[name] {
+					p.Reportf(sel.Pos(), "time.%s reads the host clock: simulation-path code must use virtual time (engine Now) so same-seed runs stay byte-identical", name)
+				}
+			case "math/rand", "math/rand/v2":
+				p.Reportf(sel.Pos(), "%s.%s: math/rand is banned on the simulation path (globally seeded and Go-version-dependent); draw from a seeded sim.NewRNG stream instead", path, name)
+			}
+			return true
+		})
+	}
+	return nil
+}

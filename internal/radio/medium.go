@@ -201,13 +201,10 @@ func (m *Medium) Detach(id NodeID) {
 // Radio returns the radio attached for id, or nil.
 func (m *Medium) Radio(id NodeID) *Radio { return m.radios[id] }
 
-// Nodes returns the IDs of all attached radios (unordered).
+// Nodes returns the IDs of all attached radios in ascending order, so
+// callers iterating the result stay deterministic without re-sorting.
 func (m *Medium) Nodes() []NodeID {
-	ids := make([]NodeID, 0, len(m.radios))
-	for id := range m.radios {
-		ids = append(ids, id)
-	}
-	return ids
+	return sim.SortedKeys(m.radios)
 }
 
 func (m *Medium) link(a, b NodeID) *linkState {

@@ -2,6 +2,7 @@ package rtlink
 
 import (
 	"fmt"
+	"slices"
 	"time"
 
 	"evm/internal/radio"
@@ -19,6 +20,14 @@ type Network struct {
 	cfg   Config
 	sched Schedule
 	links map[radio.NodeID]*Link
+	// order holds the joined node IDs sorted ascending. Frame-loop state
+	// changes (reserve replenish, sync wake/sleep) iterate it instead of
+	// the links map: map order is randomized, and per-frame radio state
+	// transitions must land in the same order every run.
+	order []radio.NodeID
+	// slots caches the sorted slot indices of sched, so per-frame slot
+	// scheduling is deterministic without re-sorting each frame.
+	slots []int
 	frame uint64
 
 	started bool
@@ -46,6 +55,7 @@ func NewNetwork(med *radio.Medium, cfg Config, sched Schedule) (*Network, error)
 		med:   med,
 		cfg:   cfg,
 		sched: sched,
+		slots: sim.SortedKeys(sched),
 		links: make(map[radio.NodeID]*Link),
 	}, nil
 }
@@ -69,6 +79,7 @@ func (n *Network) SetSchedule(s Schedule) error {
 		return err
 	}
 	n.sched = s
+	n.slots = sim.SortedKeys(s)
 	return nil
 }
 
@@ -90,6 +101,8 @@ func (n *Network) Join(id radio.NodeID) (*Link, error) {
 	}
 	r.SetHandler(l.onFrame)
 	n.links[id] = l
+	n.order = append(n.order, id)
+	slices.Sort(n.order)
 	return l, nil
 }
 
@@ -103,6 +116,9 @@ func (n *Network) Leave(id radio.NodeID) {
 	}
 	l.r.SetHandler(nil)
 	delete(n.links, id)
+	if i := slices.Index(n.order, id); i >= 0 {
+		n.order = append(n.order[:i], n.order[i+1:]...)
+	}
 }
 
 // Link returns the link layer for id, or nil.
@@ -127,27 +143,30 @@ func (n *Network) runFrame() {
 	frameStart := n.eng.Now()
 	n.frame++
 	active := (n.frame-1)%uint64(n.cfg.ActiveFrameEvery) == 0
-	for _, l := range n.links {
-		l.txThisFrame = 0 // replenish network reserves
+	for _, id := range n.order {
+		n.links[id].txThisFrame = 0 // replenish network reserves
 	}
 	if active {
 		// Sync slot: every live node wakes to catch the AM pulse.
 		n.med.BroadcastSync()
-		for _, l := range n.links {
-			if !l.r.Failed() {
+		for _, id := range n.order {
+			if l := n.links[id]; !l.r.Failed() {
 				l.r.SetState(radio.StateRX)
 			}
 		}
 		n.eng.AtPrio(frameStart+n.cfg.SlotDuration, -1, func() {
-			for _, l := range n.links {
-				if !l.r.Failed() {
+			for _, id := range n.order {
+				if l := n.links[id]; !l.r.Failed() {
 					l.r.SetState(radio.StateSleep)
 				}
 			}
 		})
-		sched := n.sched // capture: SetSchedule applies next frame
-		for slot, as := range sched {
-			slot, as := slot, as
+		// Capture: SetSchedule applies next frame. Slots schedule in
+		// ascending order so engine insertion order (the tie-break for
+		// same-time, same-priority events) never depends on map order.
+		sched, slots := n.sched, n.slots
+		for _, slot := range slots {
+			as := sched[slot]
 			at := frameStart + time.Duration(slot)*n.cfg.SlotDuration
 			n.eng.AtPrio(at, 0, func() { n.openSlot(as) })
 			n.eng.AtPrio(at+n.cfg.SlotDuration, -1, func() { n.closeSlot(as) })

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"evm/internal/radio"
+	"evm/internal/sim"
 )
 
 // Config parameterizes the TDMA frame structure.
@@ -69,9 +70,12 @@ type SlotAssign struct {
 // nodes sleep).
 type Schedule map[int]SlotAssign
 
-// Validate checks the schedule against the config.
+// Validate checks the schedule against the config. Slots are checked
+// in ascending order so the reported error is deterministic when
+// several slots are invalid.
 func (s Schedule) Validate(cfg Config) error {
-	for slot, as := range s {
+	for _, slot := range sim.SortedKeys(s) {
+		as := s[slot]
 		if slot <= 0 || slot >= cfg.SlotsPerFrame {
 			return fmt.Errorf("rtlink: slot %d out of range 1..%d", slot, cfg.SlotsPerFrame-1)
 		}

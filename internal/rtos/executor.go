@@ -109,10 +109,12 @@ func (ex *Executor) startTask(t Task) {
 }
 
 // Stop cancels all future releases; in-flight jobs are abandoned.
+// Tickers stop in sorted task order so engine-event cancellation — and
+// therefore the engine's internal queue shape — is deterministic.
 func (ex *Executor) Stop() {
 	ex.stopped = true
-	for _, tk := range ex.tickers {
-		tk.Stop()
+	for _, id := range sim.SortedKeys(ex.tickers) {
+		ex.tickers[id].Stop()
 	}
 	if ex.runEv != nil {
 		ex.eng.Cancel(ex.runEv)

@@ -3,6 +3,8 @@ package rtos
 import (
 	"fmt"
 	"time"
+
+	"evm/internal/sim"
 )
 
 // ResourceKind names a reservable resource, mirroring nano-RK's CPU,
@@ -130,21 +132,21 @@ func (rt *ReservationTable) Get(id TaskID, kind ResourceKind) *ReserveState {
 // Remove drops all reservations for a task (e.g. after migration away).
 func (rt *ReservationTable) Remove(id TaskID) { delete(rt.states, id) }
 
-// Tasks returns the IDs with at least one reservation.
+// Tasks returns the IDs with at least one reservation, sorted, so
+// callers iterating the result stay deterministic.
 func (rt *ReservationTable) Tasks() []TaskID {
-	out := make([]TaskID, 0, len(rt.states))
-	for id := range rt.states {
-		out = append(out, id)
-	}
-	return out
+	return sim.SortedKeys(rt.states)
 }
 
 // TotalCPUFraction returns the sum of CPU budget/period fractions — the
-// CPU bandwidth promised to reservations.
+// CPU bandwidth promised to reservations. The sum runs in sorted task
+// order: float addition is not associative, and admission decisions
+// compare this value, so a map-order sum could flip an admission
+// between same-seed runs.
 func (rt *ReservationTable) TotalCPUFraction() float64 {
 	var f float64
-	for _, m := range rt.states {
-		if s, ok := m[ResourceCPU]; ok {
+	for _, id := range sim.SortedKeys(rt.states) {
+		if s, ok := rt.states[id][ResourceCPU]; ok {
 			f += s.Res.Budget / s.Res.Period.Seconds()
 		}
 	}

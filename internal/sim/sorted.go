@@ -1,0 +1,21 @@
+package sim
+
+import (
+	"cmp"
+	"slices"
+)
+
+// SortedKeys returns m's keys in ascending order. Go randomizes map
+// iteration order, so deterministic code must never let a map range
+// decide anything order-sensitive — event scheduling, float
+// accumulation, early returns, tie-breaks. Range over SortedKeys(m)
+// instead and same-seed runs stay byte-identical. The evmvet maporder
+// analyzer machine-enforces this convention.
+func SortedKeys[M ~map[K]V, K cmp.Ordered, V any](m M) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}

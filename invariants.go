@@ -347,9 +347,11 @@ func (c *actuationDeadlineInvariant) Observe(ev Event) {
 		CellOverloadEvent, CellRecoveredEvent, ModeChangeEvent,
 		RolloutEvent, RollbackEvent, RebalanceAbortEvent, BackboneLinkEvent:
 		// A recorded transition excuses the pause it causes: restart
-		// every gap clock from here.
+		// every gap clock from here. (When() is hoisted out of the loop
+		// so the map range stays a pure keyed write — order-insensitive.)
+		at := inner.When()
 		for task := range c.lastAct {
-			c.lastAct[task] = inner.When()
+			c.lastAct[task] = at
 		}
 	}
 }

@@ -90,6 +90,7 @@ func (s *CapsuleStore) Latest(taskID string) (Capsule, bool) {
 	defer s.mu.RUnlock()
 	var best Capsule
 	found := false
+	//evm:allow-maporder strict max over distinct version keys is commutative; the winner is the same in any visit order
 	for v, c := range s.byTask[taskID] {
 		if !found || v > best.Version {
 			best, found = c, true
@@ -957,6 +958,7 @@ func (r *Rollout) finish(state RolloutState, reason string) {
 		r.healthSub = nil
 	}
 	for _, cell := range r.cellIdxs {
+		//evm:allow-maporder teardown clears staged state per (task, node); entries are disjoint, so clear order is unobservable
 		for task, nodes := range r.targets[cell] {
 			for _, id := range nodes {
 				r.c.cells[cell].nodes[id].ClearStaged(task)

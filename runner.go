@@ -8,6 +8,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"evm/internal/sim"
 )
 
 // RunResult is one completed grid point: the spec, the scenario's metrics
@@ -130,10 +132,12 @@ func (r *Runner) Run(specs []RunSpec) []RunResult {
 	if len(specs) == 0 {
 		return results
 	}
+	//evm:allow-goroutine the Runner is the sanctioned host-side concurrency layer: it fans out whole independent runs, each run's engine stays single-threaded
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//evm:allow-goroutine worker pool over independent runs; results land in per-run slots, no shared simulation state
 		go func() {
 			defer wg.Done()
 			for i := range idx {
@@ -398,7 +402,11 @@ func Aggregate(results []RunResult) map[string]map[string]MetricSummary {
 			byMetric = make(map[string]*acc)
 			accs[r.Spec.Scenario] = byMetric
 		}
-		for k, v := range r.Metrics {
+		// Sorted metric order: float sums are order-dependent (addition
+		// is not associative), so a fixed accumulation order keeps equal
+		// result sets aggregating to byte-identical summaries.
+		for _, k := range sim.SortedKeys(r.Metrics) {
+			v := r.Metrics[k]
 			a := byMetric[k]
 			if a == nil {
 				byMetric[k] = &acc{n: 1, sum: v, min: v, max: v}
@@ -415,9 +423,11 @@ func Aggregate(results []RunResult) map[string]map[string]MetricSummary {
 		}
 	}
 	out := make(map[string]map[string]MetricSummary, len(accs))
-	for sc, byMetric := range accs {
+	for _, sc := range sim.SortedKeys(accs) {
+		byMetric := accs[sc]
 		out[sc] = make(map[string]MetricSummary, len(byMetric))
-		for k, a := range byMetric {
+		for _, k := range sim.SortedKeys(byMetric) {
+			a := byMetric[k]
 			out[sc][k] = MetricSummary{N: a.n, Mean: a.sum / float64(a.n), Min: a.min, Max: a.max}
 		}
 	}

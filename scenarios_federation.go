@@ -112,6 +112,7 @@ func campusMetrics(campus *Campus) func() map[string]float64 {
 	return func() map[string]float64 {
 		placements := campus.TaskPlacements()
 		foreign, alive := 0, 0
+		//evm:allow-maporder commutative integer counts over pure read-only lookups; visit order cannot change the totals
 		for _, p := range placements {
 			if p.Foreign {
 				foreign++

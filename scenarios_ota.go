@@ -252,6 +252,7 @@ func buildOTACampusScenario(spec RunSpec) (*Experiment, error) {
 // capsule version. Placement keys are "<origin-cell>/<task-id>".
 func tasksOnVersion(campus *Campus, version uint8) int {
 	n := 0
+	//evm:allow-maporder commutative integer count over pure read-only lookups; visit order cannot change the total
 	for key, p := range campus.TaskPlacements() {
 		task := key
 		if i := strings.IndexByte(key, '/'); i >= 0 {
