@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"slices"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
 	"evm/internal/sim"
+	"evm/internal/span"
 )
 
 // BackboneConfig parameterizes the campus backbone: the wired (or
@@ -471,6 +473,27 @@ func (b *Backbone) Send(from, to int, payload []byte, onDeliver func([]byte), on
 		b.fail(from, to, len(payload), onFail)
 		return
 	}
+	if t := b.eng.Tracer(); t != nil {
+		// One span covers the whole end-to-end transfer including every
+		// retransmission; per-hop child spans record the route legs.
+		tid := t.Open("backbone-transfer", "backbone", "backbone", b.eng.Now(),
+			span.Arg{Key: "from", Val: b.names[from]},
+			span.Arg{Key: "to", Val: b.names[to]},
+			span.Arg{Key: "bytes", Val: strconv.Itoa(len(payload))})
+		inner, innerFail := onDeliver, onFail
+		onDeliver = func(p []byte) {
+			t.Close(tid, b.eng.Now(), span.Arg{Key: "outcome", Val: "deliver"})
+			if inner != nil {
+				inner(p)
+			}
+		}
+		onFail = func() {
+			t.Close(tid, b.eng.Now(), span.Arg{Key: "outcome", Val: "fail"})
+			if innerFail != nil {
+				innerFail()
+			}
+		}
+	}
 	b.bus.publish(BackboneRouteEvent{
 		At: b.eng.Now(), From: b.names[from], To: b.names[to],
 		Path: b.pathNames(path), Bytes: len(payload),
@@ -516,6 +539,10 @@ func (b *Backbone) retry(prev []int, payload []byte, try int, onDeliver func([]b
 			return
 		}
 		if !slices.Equal(path, prev) {
+			b.eng.Tracer().Instant("backbone-reroute", "backbone", "backbone", b.eng.Now(),
+				span.Arg{Key: "from", Val: b.names[from]},
+				span.Arg{Key: "to", Val: b.names[to]},
+				span.Arg{Key: "path", Val: strings.Join(b.pathNames(path), ">")})
 			b.bus.publish(BackboneRouteEvent{
 				At: b.eng.Now(), From: b.names[from], To: b.names[to],
 				Path: b.pathNames(path), Bytes: len(payload), Reroute: true,
@@ -531,6 +558,13 @@ func (b *Backbone) retry(prev []int, payload []byte, try int, onDeliver func([]b
 func (b *Backbone) hop(path []int, i int, payload []byte, try int, onDeliver func([]byte), onFail func()) {
 	from, to := path[0], path[len(path)-1]
 	link := b.linkConfig(path[i], path[i+1])
+	if t := b.eng.Tracer(); t != nil {
+		now := b.eng.Now()
+		t.Complete("backbone-hop", "backbone", "backbone", now, now+b.transferTime(link, len(payload)),
+			span.Arg{Key: "from", Val: b.names[path[i]]},
+			span.Arg{Key: "to", Val: b.names[path[i+1]]},
+			span.Arg{Key: "try", Val: strconv.Itoa(try)})
+	}
 	b.eng.After(b.transferTime(link, len(payload)), func() {
 		lost := b.linkDown(path[i], path[i+1])
 		if !lost && link.PER > 0 && b.rng.Bool(link.PER) {

@@ -710,3 +710,46 @@ func BenchmarkCampusRollout(b *testing.B) {
 	b.ReportMetric(rollouts/float64(b.N), "rollouts")
 	b.ReportMetric(rollbacks/float64(b.N), "rollbacks")
 }
+
+// --- Observability: span-derived latency distributions ----------------------
+
+// BenchmarkSpanLatencies runs traced scenarios through the Runner and
+// reports the span-derived latency percentiles so the cross-PR trend
+// table charts control-path latency (escalation, actuation interval,
+// rollout staging) alongside ns/op. All values come from virtual time,
+// so they are stable across machines and repeat byte-identically per
+// seed.
+func BenchmarkSpanLatencies(b *testing.B) {
+	cases := []struct {
+		scenario string
+		report   [][2]string // {reported unit, Runner metric key}
+	}{
+		{ScenarioCampusFailover, [][2]string{
+			{"escalation_p95_ms", "span_escalation_p95_ms"},
+			{"actuation_p99_ms", "span_actuation-interval_p99_ms"},
+		}},
+		{ScenarioOTACampus, [][2]string{
+			{"rollout_stage_p95_ms", "span_rollout-stage_p95_ms"},
+			{"actuation_p99_ms", "span_actuation-interval_p99_ms"},
+		}},
+	}
+	for _, c := range cases {
+		b.Run(c.scenario, func(b *testing.B) {
+			var last map[string]float64
+			for i := 0; i < b.N; i++ {
+				res := (&Runner{Workers: 1, Trace: true}).Run([]RunSpec{{
+					Scenario: c.scenario, Seed: uint64(i + 1), Horizon: 30 * time.Second,
+				}})
+				if res[0].Err != nil {
+					b.Fatal(res[0].Err)
+				}
+				last = res[0].Metrics
+			}
+			for _, kv := range c.report {
+				if v, ok := last[kv[1]]; ok {
+					b.ReportMetric(v, kv[0])
+				}
+			}
+		})
+	}
+}

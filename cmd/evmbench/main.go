@@ -750,12 +750,66 @@ func otaRollouts() error {
 	return nil
 }
 
+// trendRow is one benchmark row of a BENCH_pr*.json artifact. The fixed
+// columns decode into fields; every other numeric key — the custom units
+// benchmarks report via b.ReportMetric, such as the span-derived latency
+// percentiles (failover_p95_ms, handshake_p99_ms, ...) — lands in Extra
+// so trendTable can chart them across PRs without a schema change per
+// metric.
+type trendRow struct {
+	Name        string
+	NsPerOp     float64
+	AllocsPerOp float64
+	BytesPerOp  float64
+	Extra       map[string]float64
+}
+
+func (r *trendRow) UnmarshalJSON(data []byte) error {
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	for k, v := range m {
+		switch k {
+		case "name":
+			if err := json.Unmarshal(v, &r.Name); err != nil {
+				return err
+			}
+		case "ns_per_op":
+			if err := json.Unmarshal(v, &r.NsPerOp); err != nil {
+				return err
+			}
+		case "allocs/op":
+			if err := json.Unmarshal(v, &r.AllocsPerOp); err != nil {
+				return err
+			}
+		case "B/op":
+			if err := json.Unmarshal(v, &r.BytesPerOp); err != nil {
+				return err
+			}
+		case "iters":
+			// run count, not a metric
+		default:
+			var f float64
+			if json.Unmarshal(v, &f) == nil {
+				if r.Extra == nil {
+					r.Extra = make(map[string]float64)
+				}
+				r.Extra[k] = f
+			}
+		}
+	}
+	return nil
+}
+
 // trendTable reads every BENCH_pr*.json artifact in dir and prints one
 // row per benchmark with its ns/op across PRs — the cross-PR performance
 // trend (CI emits one artifact per PR; collect them into a directory and
 // run `evmbench -trend <dir>`). Artifacts recorded with -benchmem carry
 // allocation counts too; when any artifact has them, a second table with
-// allocs/op columns follows the timing table.
+// allocs/op columns follows the timing table. Benchmarks that report
+// custom metrics (span-derived latency percentiles and friends) get a
+// third table with one row per benchmark/metric pair.
 func trendTable(dir string) error {
 	files, err := filepath.Glob(filepath.Join(dir, "BENCH_pr*.json"))
 	if err != nil {
@@ -764,12 +818,7 @@ func trendTable(dir string) error {
 	if len(files) == 0 {
 		return fmt.Errorf("no BENCH_pr*.json artifacts in %s", dir)
 	}
-	type benchRow struct {
-		Name        string  `json:"name"`
-		NsPerOp     float64 `json:"ns_per_op"`
-		AllocsPerOp float64 `json:"allocs/op"`
-		BytesPerOp  float64 `json:"B/op"`
-	}
+	type benchRow = trendRow
 	type artifact struct {
 		PR         int        `json:"pr"`
 		Benchmarks []benchRow `json:"benchmarks"`
@@ -823,31 +872,75 @@ func trendTable(dir string) error {
 		}
 		fmt.Println()
 	}
-	if len(haveAllocs) == 0 {
-		return nil
-	}
-	// Allocation table: only PRs benchmarked with -benchmem get a column;
-	// earlier artifacts predate alloc recording and stay timing-only.
-	var allocPRs []int
-	for _, pr := range prs {
-		if haveAllocs[pr] {
-			allocPRs = append(allocPRs, pr)
+	if len(haveAllocs) > 0 {
+		// Allocation table: only PRs benchmarked with -benchmem get a column;
+		// earlier artifacts predate alloc recording and stay timing-only.
+		var allocPRs []int
+		for _, pr := range prs {
+			if haveAllocs[pr] {
+				allocPRs = append(allocPRs, pr)
+			}
+		}
+		fmt.Println()
+		fmt.Printf("%-40s", "benchmark (allocs/op)")
+		for _, pr := range allocPRs {
+			fmt.Printf("  %10s", fmt.Sprintf("pr%d", pr))
+		}
+		fmt.Println()
+		for _, name := range sorted {
+			fmt.Printf("%-40s", name)
+			for _, pr := range allocPRs {
+				if bm, ok := perPR[pr][name]; ok && (bm.AllocsPerOp > 0 || bm.BytesPerOp > 0) {
+					fmt.Printf("  %10.0f", bm.AllocsPerOp)
+				} else {
+					fmt.Printf("  %10s", "-")
+				}
+			}
+			fmt.Println()
 		}
 	}
+	// Custom-metric table: one row per benchmark/metric pair, covering
+	// everything reported via ReportMetric — the span-derived latency
+	// percentiles land here.
+	type metricRow struct{ bench, key string }
+	var metricRows []metricRow
+	for _, name := range sorted {
+		keySet := make(map[string]bool)
+		for _, pr := range prs {
+			if bm, ok := perPR[pr][name]; ok {
+				for k := range bm.Extra {
+					keySet[k] = true
+				}
+			}
+		}
+		keys := make([]string, 0, len(keySet))
+		for k := range keySet {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			metricRows = append(metricRows, metricRow{name, k})
+		}
+	}
+	if len(metricRows) == 0 {
+		return nil
+	}
 	fmt.Println()
-	fmt.Printf("%-40s", "benchmark (allocs/op)")
-	for _, pr := range allocPRs {
+	fmt.Printf("%-40s", "benchmark metric")
+	for _, pr := range prs {
 		fmt.Printf("  %10s", fmt.Sprintf("pr%d", pr))
 	}
 	fmt.Println()
-	for _, name := range sorted {
-		fmt.Printf("%-40s", name)
-		for _, pr := range allocPRs {
-			if bm, ok := perPR[pr][name]; ok && (bm.AllocsPerOp > 0 || bm.BytesPerOp > 0) {
-				fmt.Printf("  %10.0f", bm.AllocsPerOp)
-			} else {
-				fmt.Printf("  %10s", "-")
+	for _, row := range metricRows {
+		fmt.Printf("%-40s", row.bench+" "+row.key)
+		for _, pr := range prs {
+			if bm, ok := perPR[pr][row.bench]; ok {
+				if v, ok := bm.Extra[row.key]; ok {
+					fmt.Printf("  %10.3f", v)
+					continue
+				}
 			}
+			fmt.Printf("  %10s", "-")
 		}
 		fmt.Println()
 	}

@@ -19,15 +19,20 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"math"
 	"net"
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -212,6 +217,13 @@ func main() {
 		fmt.Printf("  lost/duplicated    0/0\n")
 	}
 
+	if mc, err := checkMetrics(client, base, *addr == "", accepted, pct); err != nil {
+		fmt.Printf("evmload: FAIL — /metrics: %v\n", err)
+		failures++
+	} else {
+		fmt.Printf("  /metrics           %s\n", mc)
+	}
+
 	if *verify > 0 {
 		compared, err := verifyDeterminism(client, base, outcomes[:], *scenario, *horizon, *verify, *perSeed)
 		if err != nil {
@@ -306,6 +318,113 @@ func mergeBench(path string, pr int, rows []benchRow) error {
 		return err
 	}
 	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// checkMetrics scrapes GET /metrics and cross-checks the daemon's own
+// admission-latency histogram against the client-side measurements: the
+// server handler time for any request is bounded by the client's round
+// trip, so with equal observation counts each server percentile must
+// sit at or below the matching client percentile. A spawned in-process
+// daemon saw exactly this harness's traffic, so its accepted counter
+// must equal ours too. Catches the Prometheus surface drifting from the
+// /v1/stats view it is rendered from.
+func checkMetrics(client *http.Client, base string, inProcess bool, accepted int, pct func(float64) time.Duration) (string, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("status %d", resp.StatusCode)
+	}
+	samples, buckets, err := parseMetrics(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if inProcess {
+		if got, ok := samples["evmd_submissions_accepted_total"]; !ok || int(got) != accepted {
+			return "", fmt.Errorf("evmd_submissions_accepted_total = %g, harness accepted %d", got, accepted)
+		}
+	}
+	count, ok := samples["evmd_admission_latency_seconds_count"]
+	if !ok {
+		return "", fmt.Errorf("evmd_admission_latency_seconds histogram missing")
+	}
+	if int(count) < accepted {
+		return "", fmt.Errorf("admission histogram count %g < %d accepted submissions", count, accepted)
+	}
+	if int(count) == accepted && accepted > 0 {
+		for _, p := range []float64{0.50, 0.95, 0.99} {
+			lb := bucketLowerBound(buckets, int(count), p)
+			if cl := pct(p).Seconds(); cl < lb {
+				return "", fmt.Errorf("server admission p%d sits above %gs but client round-trip p%d is %gs",
+					int(p*100), lb, int(p*100), cl)
+			}
+		}
+		return fmt.Sprintf("admission histogram count=%d, server p50/p95/p99 within client round-trips", int(count)), nil
+	}
+	return fmt.Sprintf("admission histogram count=%d covers %d accepted submissions", int(count), accepted), nil
+}
+
+// histBucket is one cumulative bucket of the scraped admission histogram.
+type histBucket struct {
+	le  float64
+	cum int
+}
+
+// parseMetrics reads Prometheus text exposition, returning unlabelled
+// samples by name plus the admission-latency bucket series.
+func parseMetrics(r io.Reader) (map[string]float64, []histBucket, error) {
+	samples := make(map[string]float64)
+	var buckets []histBucket
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		const bucketPrefix = `evmd_admission_latency_seconds_bucket{le="`
+		if strings.HasPrefix(fields[0], bucketPrefix) {
+			leStr := strings.TrimSuffix(strings.TrimPrefix(fields[0], bucketPrefix), `"}`)
+			le := math.Inf(1)
+			if leStr != "+Inf" {
+				if le, err = strconv.ParseFloat(leStr, 64); err != nil {
+					return nil, nil, fmt.Errorf("bad bucket bound %q", leStr)
+				}
+			}
+			buckets = append(buckets, histBucket{le: le, cum: int(v)})
+			continue
+		}
+		samples[fields[0]] = v
+	}
+	return samples, buckets, sc.Err()
+}
+
+// bucketLowerBound returns the lower edge of the histogram bucket that
+// holds the p-quantile observation (same nearest-rank convention as the
+// harness's own pct helper), i.e. a value the true server-side quantile
+// is known to be at or above.
+func bucketLowerBound(buckets []histBucket, count int, p float64) float64 {
+	if count == 0 || len(buckets) == 0 {
+		return 0
+	}
+	rank := int(p*float64(count-1)) + 1 // 1-based order statistic
+	lower := 0.0
+	for _, b := range buckets {
+		if b.cum >= rank {
+			return lower
+		}
+		lower = b.le
+	}
+	return lower
 }
 
 func getStats(client *http.Client, base string) evmd.Stats {

@@ -52,6 +52,15 @@ type Config struct {
 	// and drain timeouts. Nil means the real wall clock; tests inject a
 	// fake so TTL behavior is exercised without sleeping.
 	Clock Clock
+	// Trace enables per-run causal tracing: each run records seeded
+	// virtual-time spans, span-derived latency metrics join the run's
+	// metric map, and the Chrome-trace JSON is served at
+	// GET /v1/runs/{id}/trace until the run is evicted.
+	Trace bool
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
+	// daemon handler. Off by default: profiling endpoints expose host
+	// internals and belong behind an operator flag.
+	EnablePprof bool
 }
 
 // Clock abstracts the host wall clock at the daemon boundary. The
@@ -119,6 +128,8 @@ type Run struct {
 	finishedAt  time.Time
 	cells       []CellStatus
 	metrics     map[string]float64
+	trace       []byte // Chrome-trace JSON (Config.Trace)
+	allocBytes  uint64 // host alloc delta over the run
 	err         string
 }
 
@@ -142,6 +153,8 @@ type RunStatus struct {
 	FinishedAt  *time.Time         `json:"finished_at,omitempty"`
 	QueueWaitMS float64            `json:"queue_wait_ms"`
 	WallMS      float64            `json:"wall_ms"`
+	AllocBytes  uint64             `json:"alloc_bytes,omitempty"`
+	Trace       bool               `json:"trace,omitempty"`
 	Events      int                `json:"events"`
 	Samples     int                `json:"samples"`
 	Cells       []CellStatus       `json:"cells,omitempty"`
@@ -173,6 +186,8 @@ func (r *Run) snapshot() RunStatus {
 		st.FinishedAt = &t
 		st.WallMS = float64(r.finishedAt.Sub(r.startedAt)) / float64(time.Millisecond)
 	}
+	st.AllocBytes = r.allocBytes
+	st.Trace = len(r.trace) > 0
 	if r.metrics != nil {
 		st.Metrics = make(map[string]float64, len(r.metrics))
 		for k, v := range r.metrics {
@@ -230,6 +245,11 @@ type Server struct {
 	evicted  atomic.Int64
 	draining atomic.Bool
 
+	// Scrape-surface instruments (GET /metrics).
+	admitHist   *histogram   // POST /v1/runs handler latency, seconds
+	runWallHist *histogram   // per-run wall execution time, seconds
+	streamSubs  atomic.Int64 // open event-stream subscriptions
+
 	workers sync.WaitGroup
 }
 
@@ -237,10 +257,12 @@ type Server struct {
 func NewServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		queue:   newFairQueue(cfg.QueueDepth, cfg.TenantQueueDepth),
-		runs:    make(map[string]*Run),
-		tenants: make(map[string][]*Run),
+		cfg:         cfg,
+		queue:       newFairQueue(cfg.QueueDepth, cfg.TenantQueueDepth),
+		runs:        make(map[string]*Run),
+		tenants:     make(map[string][]*Run),
+		admitHist:   newHistogram(admissionBuckets()...),
+		runWallHist: newHistogram(runWallBuckets()...),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)
@@ -426,7 +448,9 @@ func (s *Server) execute(run *Run) {
 	run.mu.Unlock()
 
 	runner := &evm.Runner{
-		Workers: 1,
+		Workers:   1,
+		Trace:     s.cfg.Trace,
+		HostStats: true,
 		Instrument: func(spec evm.RunSpec, exp *evm.Experiment) func(map[string]float64) {
 			var bus *evm.Bus
 			var now func() time.Duration
@@ -465,6 +489,9 @@ func (s *Server) execute(run *Run) {
 	run.mu.Lock()
 	run.finishedAt = s.cfg.Clock.Now()
 	run.metrics = res.Metrics
+	run.trace = res.TraceJSON
+	run.allocBytes = res.HostAllocBytes
+	wall := run.finishedAt.Sub(run.startedAt)
 	if res.Err != nil {
 		run.state = RunFailed
 		run.err = res.Err.Error()
@@ -472,6 +499,7 @@ func (s *Server) execute(run *Run) {
 		run.state = RunDone
 	}
 	run.mu.Unlock()
+	s.runWallHist.observe(wall.Seconds())
 	run.stream.close()
 	if res.Err != nil {
 		s.failed.Add(1)

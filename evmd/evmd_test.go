@@ -339,13 +339,23 @@ func TestGracefulShutdown(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("post-drain submit status = %d (%s), want 503", resp.StatusCode, body)
 	}
+	// Liveness stays green through the drain; readiness flips to 503 so
+	// orchestrators stop routing new work without killing the process.
 	res, err := http.Get(ts.URL + "/v1/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while draining = %d, want 200 (liveness)", res.StatusCode)
+	}
+	res, err = http.Get(ts.URL + "/v1/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
 	if res.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("healthz while draining = %d, want 503", res.StatusCode)
+		t.Fatalf("readyz while draining = %d, want 503", res.StatusCode)
 	}
 
 	doneRuns, cancelled := 0, 0

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"time"
 
@@ -112,11 +113,15 @@ type SubmitResponse struct {
 //	GET  /v1/runs/{id}             one run snapshot (410 once evicted)
 //	GET  /v1/runs/{id}/events      stream events (SSE or NDJSON; replays from start)
 //	GET  /v1/runs/{id}/telemetry   flat samples (?format=csv|ndjson)
+//	GET  /v1/runs/{id}/trace       Chrome-trace JSON (Config.Trace; Perfetto-loadable)
 //	GET  /v1/tenants               tenant names
 //	GET  /v1/tenants/{id}          tenant status table
 //	GET  /v1/scenarios             registered scenarios and policies
 //	GET  /v1/stats                 daemon counters
-//	GET  /v1/healthz               200 serving / 503 draining
+//	GET  /v1/healthz               liveness: 200 while the process serves
+//	GET  /v1/readyz                readiness: 200 serving / 503 draining
+//	GET  /metrics                  Prometheus text exposition
+//	GET  /debug/pprof/...          profiling (Config.EnablePprof only)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
@@ -125,6 +130,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/runs/{id}", s.handleRun)
 	mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/runs/{id}/telemetry", s.handleTelemetry)
+	mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/tenants", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"tenants": s.Tenants()})
 	})
@@ -140,17 +146,64 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
+	// Liveness and readiness are distinct probes: a draining daemon is
+	// still alive (it is finishing in-flight runs and serving reads) but
+	// not ready for new work — an orchestrator should stop routing
+	// submissions to it without killing it mid-drain.
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+	})
+	mux.HandleFunc("GET /v1/readyz", func(w http.ResponseWriter, r *http.Request) {
 		if s.Draining() {
 			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
 	})
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
+// handleTrace serves a finished run's Chrome-trace JSON. Runs still in
+// flight answer 409 (the trace exports at completion); runs executed
+// without Config.Trace answer 404.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	run := s.fetchRun(w, r)
+	if run == nil {
+		return
+	}
+	run.mu.Lock()
+	trace := run.trace
+	state := run.state
+	run.mu.Unlock()
+	if len(trace) == 0 {
+		switch state {
+		case RunQueued, RunRunning:
+			httpError(w, http.StatusConflict,
+				fmt.Errorf("evmd: run %s is %s; its trace exports at completion", run.ID, state))
+		default:
+			httpError(w, http.StatusNotFound,
+				fmt.Errorf("evmd: no trace recorded for run %s (daemon tracing disabled?)", run.ID))
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(trace)
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// The admission histogram measures the full handler — decode through
+	// queue admission — on the injected clock, so evmload can check its
+	// own client-side percentiles against the served buckets.
+	start := s.cfg.Clock.Now()
+	defer func() { s.admitHist.observe(s.cfg.Clock.Now().Sub(start).Seconds()) }()
 	var req SubmitRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("evmd: bad submit body: %w", err))
@@ -220,6 +273,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if run == nil {
 		return
 	}
+	s.streamSubs.Add(1)
+	defer s.streamSubs.Add(-1)
 	sse := r.URL.Query().Get("format") == "sse" ||
 		strings.Contains(r.Header.Get("Accept"), "text/event-stream")
 	if sse {

@@ -1,0 +1,248 @@
+package evmd
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// submitAndWait posts one run and blocks until it reaches a terminal
+// state, returning the run ID.
+func submitAndWait(t *testing.T, s *Server, base string) string {
+	t.Helper()
+	resp, body := postJSON(t, base+"/v1/runs", SubmitRequest{
+		Tenant: "obs", Scenario: "eight-controller", Seed: 1, HorizonMS: 2000,
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", resp.StatusCode, body)
+	}
+	var sub SubmitResponse
+	if err := json.Unmarshal(body, &sub); err != nil || len(sub.Runs) != 1 {
+		t.Fatalf("submit response %s: %v", body, err)
+	}
+	id := sub.Runs[0].ID
+	s.mu.Lock()
+	run := s.runs[id]
+	s.mu.Unlock()
+	if st := waitState(t, run); st != RunDone {
+		t.Fatalf("run ended %s, want done", st)
+	}
+	return id
+}
+
+// TestMetricsEndpoint scrapes GET /metrics after a completed run and
+// checks the exposition format plus cross-consistency with /v1/stats.
+func TestMetricsEndpoint(t *testing.T) {
+	s := NewServer(Config{Workers: 2, QueueDepth: 16})
+	defer s.Drain(0)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	submitAndWait(t, s, ts.URL)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		"# TYPE evmd_workers gauge",
+		"evmd_workers 2",
+		"# TYPE evmd_submissions_accepted_total counter",
+		"evmd_submissions_accepted_total 1",
+		"evmd_runs_completed_total 1",
+		`evmd_runs{state="done"} 1`,
+		"# TYPE evmd_admission_latency_seconds histogram",
+		"evmd_admission_latency_seconds_count 1",
+		"evmd_run_wall_seconds_count 1",
+		"evmd_stream_subscribers 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// Histogram buckets must be cumulative: the +Inf bucket equals the
+	// count, and counts never decrease across ascending bounds.
+	last := -1
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, "evmd_admission_latency_seconds_bucket") {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.Atoi(fields[len(fields)-1])
+		if err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if v < last {
+			t.Fatalf("bucket counts not cumulative at %q", line)
+		}
+		last = v
+	}
+	if last != 1 {
+		t.Fatalf("+Inf bucket = %d, want 1", last)
+	}
+}
+
+// TestTraceEndpoint exercises GET /v1/runs/{id}/trace: 200 with a
+// Perfetto-loadable JSON document when tracing is on, 404 when the
+// daemon runs without tracing, and 404 for unknown runs.
+func TestTraceEndpoint(t *testing.T) {
+	s := NewServer(Config{Workers: 2, QueueDepth: 16, Trace: true})
+	defer s.Drain(0)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	id := submitAndWait(t, s, ts.URL)
+
+	resp, err := http.Get(ts.URL + "/v1/runs/" + id + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var trace struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&trace); err != nil {
+		t.Fatal(err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+
+	// The run status snapshot must advertise that a trace exists.
+	stResp, body := getBody(t, ts.URL+"/v1/runs/"+id)
+	if stResp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", stResp.StatusCode)
+	}
+	var st RunStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Trace {
+		t.Error("run status does not advertise the trace")
+	}
+
+	if resp, err := http.Get(ts.URL + "/v1/runs/no-such-run/trace"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("unknown run trace status %d, want 404", resp.StatusCode)
+		}
+	}
+
+	// A daemon without tracing serves 404 for finished runs' traces.
+	s2 := NewServer(Config{Workers: 1, QueueDepth: 4})
+	defer s2.Drain(0)
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	id2 := submitAndWait(t, s2, ts2.URL)
+	if resp, err := http.Get(ts2.URL + "/v1/runs/" + id2 + "/trace"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("untraced run trace status %d, want 404", resp.StatusCode)
+		}
+	}
+}
+
+func getBody(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// TestTelemetryCarriesSpanMetrics checks the streamed telemetry log of
+// a traced daemon includes metric.span_* samples — the span-derived
+// percentiles ride the same surface as the control-quality metrics.
+func TestTelemetryCarriesSpanMetrics(t *testing.T) {
+	s := NewServer(Config{Workers: 1, QueueDepth: 4, Trace: true})
+	defer s.Drain(0)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	id := submitAndWait(t, s, ts.URL)
+
+	resp, body := getBody(t, ts.URL+"/v1/runs/"+id+"/telemetry")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("telemetry status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "metric.span_slot_p95_ms") {
+		t.Error("telemetry missing metric.span_slot_p95_ms sample")
+	}
+}
+
+// TestPprofGate checks /debug/pprof/ is mounted only behind the flag.
+func TestPprofGate(t *testing.T) {
+	open := NewServer(Config{Workers: 1, QueueDepth: 4, EnablePprof: true})
+	defer open.Drain(0)
+	tsOpen := httptest.NewServer(open.Handler())
+	defer tsOpen.Close()
+	if resp, err := http.Get(tsOpen.URL + "/debug/pprof/"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("pprof status %d with EnablePprof", resp.StatusCode)
+		}
+	}
+	closed := NewServer(Config{Workers: 1, QueueDepth: 4})
+	defer closed.Drain(0)
+	tsClosed := httptest.NewServer(closed.Handler())
+	defer tsClosed.Close()
+	if resp, err := http.Get(tsClosed.URL + "/debug/pprof/"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("pprof status %d without EnablePprof, want 404", resp.StatusCode)
+		}
+	}
+}
+
+// TestReadyzProbe checks the liveness/readiness split on a healthy
+// daemon: both probes are 200 until drain (TestGracefulShutdown covers
+// the draining side).
+func TestReadyzProbe(t *testing.T) {
+	s := NewServer(Config{Workers: 1, QueueDepth: 4})
+	defer s.Drain(0)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	for _, path := range []string{"/v1/healthz", "/v1/readyz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s status %d, want 200", path, resp.StatusCode)
+		}
+	}
+}

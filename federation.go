@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"evm/internal/sim"
+	"evm/internal/span"
 	"evm/internal/wire"
 )
 
@@ -115,6 +116,9 @@ type rebalanceHandshake struct {
 	imported bool
 	export   wire.TaskExport
 	deadline *sim.Event
+	// spanID is the open rebalance-handshake trace span, closed with the
+	// handshake's outcome on commit or abort (zero when tracing is off).
+	spanID span.ID
 }
 
 // Campus federates N cells into one schedulable, fault-tolerant system:
@@ -693,9 +697,25 @@ func (c *Campus) escalate(key string, p *taskPlacement) {
 	p.migrating = true
 	p.dest = dst
 	src := p.cell
+	esc := c.eng.Tracer().Open("escalation", "federation", "federation", c.eng.Now(),
+		span.Arg{Key: "task", Val: p.spec.ID},
+		span.Arg{Key: "from", Val: c.cellName(src)},
+		span.Arg{Key: "to", Val: c.cellName(dst)})
 	c.backbone.Send(src, dst, payload,
-		func(b []byte) { c.deliver(key, p, dst, b) },
-		func() { p.migrating = false })
+		func(b []byte) {
+			c.deliver(key, p, dst, b)
+			// dst != src is guaranteed above, so landing in dst means a
+			// host admitted the task; anything else retries next tick.
+			outcome := "no-host"
+			if p.cell == dst {
+				outcome = "placed"
+			}
+			c.eng.Tracer().Close(esc, c.eng.Now(), span.Arg{Key: "outcome", Val: outcome})
+		},
+		func() {
+			p.migrating = false
+			c.eng.Tracer().Close(esc, c.eng.Now(), span.Arg{Key: "outcome", Val: "transfer-failed"})
+		})
 }
 
 // destNodes lists a cell's eligible hosts for a task — live runtimes not
@@ -856,10 +876,22 @@ func (c *Campus) startRebalance(key string, p *taskPlacement) {
 	p.hs = hs
 	p.migrating = true
 	p.dest = p.origin
+	hs.spanID = c.eng.Tracer().Open("handshake", "federation", "federation", c.eng.Now(),
+		span.Arg{Key: "task", Val: p.spec.ID},
+		span.Arg{Key: "host", Val: c.cellName(p.cell)},
+		span.Arg{Key: "origin", Val: c.cellName(p.origin)})
 	hs.deadline = c.eng.After(c.cfg.HandshakeTimeout, func() { c.abortRebalance(p, hs, "timeout") })
+	leg := c.eng.Tracer().Open("prepare-leg", "federation", "federation", c.eng.Now(),
+		span.Arg{Key: "task", Val: p.spec.ID})
 	c.backbone.Send(p.cell, p.origin, prep,
-		func(b []byte) { c.onPrepare(key, p, hs, b) },
-		func() { c.abortRebalance(p, hs, "prepare-lost") })
+		func(b []byte) {
+			c.eng.Tracer().Close(leg, c.eng.Now(), span.Arg{Key: "outcome", Val: "delivered"})
+			c.onPrepare(key, p, hs, b)
+		},
+		func() {
+			c.eng.Tracer().Close(leg, c.eng.Now(), span.Arg{Key: "outcome", Val: "lost"})
+			c.abortRebalance(p, hs, "prepare-lost")
+		})
 }
 
 // onPrepare lands the prepare leg at the origin cell: restore the
@@ -911,9 +943,17 @@ func (c *Campus) onPrepare(key string, p *taskPlacement, hs *rebalanceHandshake,
 		c.abortRebalance(p, hs, "encode")
 		return
 	}
+	leg := c.eng.Tracer().Open("commit-leg", "federation", "federation", c.eng.Now(),
+		span.Arg{Key: "task", Val: p.spec.ID})
 	c.backbone.Send(origin, p.cell, commit,
-		func([]byte) { c.onCommit(key, p, hs) },
-		func() { c.abortRebalance(p, hs, "commit-lost") })
+		func([]byte) {
+			c.eng.Tracer().Close(leg, c.eng.Now(), span.Arg{Key: "outcome", Val: "delivered"})
+			c.onCommit(key, p, hs)
+		},
+		func() {
+			c.eng.Tracer().Close(leg, c.eng.Now(), span.Arg{Key: "outcome", Val: "lost"})
+			c.abortRebalance(p, hs, "commit-lost")
+		})
 }
 
 // onCommit lands the commit leg at the hosting cell — the commit point:
@@ -937,6 +977,7 @@ func (c *Campus) onCommit(key string, p *taskPlacement, hs *rebalanceHandshake) 
 	headNode.Head().Promote(p.spec.ID, hs.home, old)
 	p.cell, p.node, p.foreign, p.localCands = origin, hs.home, false, nil
 	p.export, p.have = hs.export, true
+	c.eng.Tracer().Close(hs.spanID, c.eng.Now(), span.Arg{Key: "outcome", Val: "commit"})
 	c.finishHandshake(p, hs)
 	c.bus().publish(InterCellMigrationEvent{
 		At:        c.eng.Now(),
@@ -964,6 +1005,8 @@ func (c *Campus) abortRebalance(p *taskPlacement, hs *rebalanceHandshake, reason
 			_ = n.RetireTask(p.spec.ID)
 		}
 	}
+	c.eng.Tracer().Close(hs.spanID, c.eng.Now(),
+		span.Arg{Key: "outcome", Val: "abort"}, span.Arg{Key: "reason", Val: reason})
 	c.finishHandshake(p, hs)
 	c.bus().publish(RebalanceAbortEvent{
 		At:     c.eng.Now(),

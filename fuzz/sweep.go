@@ -112,3 +112,19 @@ func EventStrings(s Spec, seed uint64) ([]string, error) {
 	res := r.RunOne(evm.RunSpec{Scenario: s.Name, Seed: seed})
 	return lines, res.Err
 }
+
+// TraceJSON executes one spec with causal tracing enabled and returns
+// the run's Chrome trace-event JSON. evmfuzz writes it next to a
+// shrunken repro so a violation can be inspected on a Perfetto timeline
+// (which slot, which frame, which handshake leg) rather than only
+// replayed. Deterministic: equal (spec, seed) pairs yield equal bytes.
+func TraceJSON(s Spec, seed uint64) ([]byte, error) {
+	r := &evm.Runner{
+		Workers:  1,
+		Trace:    true,
+		Build:    func(run evm.RunSpec) (*evm.Experiment, error) { return buildExperiment(s, run) },
+		Checkers: Checkers,
+	}
+	res := r.RunOne(evm.RunSpec{Scenario: s.Name, Seed: seed})
+	return res.TraceJSON, res.Err
+}

@@ -1,6 +1,7 @@
 package fuzz
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 )
@@ -68,5 +69,26 @@ func TestEnsureRegisteredIdempotentAndConflicting(t *testing.T) {
 	err := EnsureRegistered(altered)
 	if err == nil || !strings.Contains(err.Error(), "different spec") {
 		t.Fatalf("conflicting re-register: got %v", err)
+	}
+}
+
+// TestTraceJSONDeterministic: the violating-run trace evmfuzz attaches
+// to a repro is a pure function of (spec, seed) and actually contains
+// span events.
+func TestTraceJSONDeterministic(t *testing.T) {
+	s := Generate(11)
+	a, err := TraceJSON(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TraceJSON(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 || !bytes.Equal(a, b) {
+		t.Fatalf("trace not deterministic (%d vs %d bytes)", len(a), len(b))
+	}
+	if !bytes.Contains(a, []byte(`"traceEvents"`)) || !bytes.Contains(a, []byte(`"slot"`)) {
+		t.Fatal("trace missing expected span events")
 	}
 }

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"time"
 
 	"evm/internal/sim"
+	"evm/internal/span"
 )
 
 // State is the radio power state.
@@ -271,6 +273,16 @@ func (m *Medium) transmit(from *Radio, pkt Packet) (time.Duration, error) {
 		end:      m.eng.Now() + air,
 		collided: make(map[NodeID]bool),
 	}
+	if t := m.eng.Tracer(); t != nil {
+		hop := "broadcast"
+		if pkt.Hop != Broadcast {
+			hop = strconv.Itoa(int(pkt.Hop))
+		}
+		t.Complete("tx", "radio", "radio", tx.start, tx.end+m.cfg.PropDelay,
+			span.Arg{Key: "from", Val: strconv.Itoa(int(from.id))},
+			span.Arg{Key: "hop", Val: hop},
+			span.Arg{Key: "bytes", Val: strconv.Itoa(pkt.AirBytes())})
+	}
 	// Collision marking: any receiver already capturing another frame has
 	// both frames destroyed.
 	for _, id := range m.order {
@@ -312,11 +324,13 @@ func (m *Medium) deliverTo(tx *transmission, r *Radio) {
 	if tx.from.pos.Distance(r.pos) >= m.cfg.RangeM {
 		m.stats.DroppedRange++
 		r.drops[DropOutOfRange]++
+		m.traceDrop(tx, r, "out-of-range")
 		return
 	}
 	if tx.collided[r.id] {
 		m.stats.DroppedColl++
 		r.drops[DropCollision]++
+		m.traceDrop(tx, r, "collision")
 		return
 	}
 	// The receiver must have been in RX for the whole frame.
@@ -328,6 +342,7 @@ func (m *Medium) deliverTo(tx *transmission, r *Radio) {
 	if m.lossDraw(tx.from, r) {
 		m.stats.DroppedLoss++
 		r.drops[DropLoss]++
+		m.traceDrop(tx, r, "loss")
 		return
 	}
 	m.stats.Delivered++
@@ -335,6 +350,20 @@ func (m *Medium) deliverTo(tx *transmission, r *Radio) {
 	if r.handler != nil {
 		r.handler(tx.pkt.Clone())
 	}
+}
+
+// traceDrop records a drop instant for the attached tracer. Not-listening
+// drops are deliberately untraced: most radios sleep through most slots,
+// so tracing them would bury the channel losses the histograms care about.
+func (m *Medium) traceDrop(tx *transmission, r *Radio, reason string) {
+	t := m.eng.Tracer()
+	if t == nil {
+		return
+	}
+	t.Instant("drop", "radio", "radio", m.eng.Now(),
+		span.Arg{Key: "from", Val: strconv.Itoa(int(tx.from.id))},
+		span.Arg{Key: "at", Val: strconv.Itoa(int(r.id))},
+		span.Arg{Key: "reason", Val: reason})
 }
 
 // lossDraw decides whether the channel destroys the frame, combining the

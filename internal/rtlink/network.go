@@ -3,10 +3,12 @@ package rtlink
 import (
 	"fmt"
 	"slices"
+	"strconv"
 	"time"
 
 	"evm/internal/radio"
 	"evm/internal/sim"
+	"evm/internal/span"
 )
 
 // dataKind is the radio.Kind used for RT-Link data frames.
@@ -143,6 +145,10 @@ func (n *Network) runFrame() {
 	frameStart := n.eng.Now()
 	n.frame++
 	active := (n.frame-1)%uint64(n.cfg.ActiveFrameEvery) == 0
+	if t := n.eng.Tracer(); t != nil && active {
+		t.Complete("frame", "rtlink", "rtlink", frameStart, frameStart+n.cfg.FrameDuration(),
+			span.Arg{Key: "frame", Val: strconv.FormatUint(n.frame, 10)})
+	}
 	for _, id := range n.order {
 		n.links[id].txThisFrame = 0 // replenish network reserves
 	}
@@ -165,9 +171,15 @@ func (n *Network) runFrame() {
 		// ascending order so engine insertion order (the tie-break for
 		// same-time, same-priority events) never depends on map order.
 		sched, slots := n.sched, n.slots
+		tracer := n.eng.Tracer()
 		for _, slot := range slots {
 			as := sched[slot]
 			at := frameStart + time.Duration(slot)*n.cfg.SlotDuration
+			if tracer != nil {
+				tracer.Complete("slot", "rtlink", "rtlink", at, at+n.cfg.SlotDuration,
+					span.Arg{Key: "slot", Val: strconv.Itoa(slot)},
+					span.Arg{Key: "owner", Val: strconv.Itoa(int(as.Owner))})
+			}
 			n.eng.AtPrio(at, 0, func() { n.openSlot(as) })
 			n.eng.AtPrio(at+n.cfg.SlotDuration, -1, func() { n.closeSlot(as) })
 		}

@@ -10,6 +10,8 @@ import (
 	"container/heap"
 	"errors"
 	"time"
+
+	"evm/internal/span"
 )
 
 // ErrHorizon is returned by RunUntil when the event queue drains before the
@@ -79,6 +81,10 @@ type Engine struct {
 	queue   eventHeap
 	seq     uint64
 	stopped bool
+	// tracer, when non-nil, records causal spans for this engine's run.
+	// Every subsystem holding an engine reference reaches it through
+	// Tracer(), so enabling tracing never changes constructor signatures.
+	tracer *span.Tracer
 }
 
 // New returns an engine with the virtual clock at zero.
@@ -88,6 +94,13 @@ func New() *Engine {
 
 // Now returns the current virtual time.
 func (e *Engine) Now() time.Duration { return e.now }
+
+// SetTracer attaches (or with nil detaches) a span tracer. Tracing is
+// off by default; a nil tracer costs one pointer check per dispatch.
+func (e *Engine) SetTracer(t *span.Tracer) { e.tracer = t }
+
+// Tracer returns the attached span tracer, or nil when tracing is off.
+func (e *Engine) Tracer() *span.Tracer { return e.tracer }
 
 // Pending returns the number of events still queued.
 func (e *Engine) Pending() int { return len(e.queue) }
@@ -144,7 +157,16 @@ func (e *Engine) Step() bool {
 			continue
 		}
 		e.now = ev.at
-		ev.fn()
+		if t := e.tracer; t != nil && t.Dispatch() {
+			// Dispatch spans are zero-width in virtual time (the clock
+			// does not advance inside a callback) but give every span
+			// recorded within the callback its causal parent.
+			id := t.Enter("dispatch", "sim", "engine", e.now)
+			ev.fn()
+			t.Exit(id, e.now)
+		} else {
+			ev.fn()
+		}
 		return true
 	}
 	return false

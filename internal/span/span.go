@@ -1,0 +1,368 @@
+// Package span records deterministic causal spans in virtual time.
+//
+// A Tracer is owned by one sim.Engine and is therefore single-threaded;
+// span IDs are derived from the run seed and a creation counter (a
+// splitmix64 mix), parent links come from an explicit enter/exit stack,
+// and the export walks the append-ordered span slice — so the same seed
+// produces a byte-identical trace on every run and every machine. The
+// export format is the Chrome trace-event JSON array, loadable directly
+// in Perfetto (ui.perfetto.dev) or chrome://tracing; virtual-time
+// nanoseconds map onto the format's microsecond timestamps.
+package span
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"time"
+)
+
+// ID identifies one span. The zero ID is "no span": it is returned when
+// the tracer is saturated and acts as the root parent.
+type ID uint64
+
+// Arg is one key/value annotation on a span. Values are plain strings so
+// exports never depend on float formatting of caller state.
+type Arg struct {
+	Key string
+	Val string
+}
+
+// Span is one recorded interval (or instant) on the virtual timeline.
+type Span struct {
+	ID     ID
+	Parent ID
+	Name   string
+	Cat    string
+	// Track groups spans onto one Perfetto thread row ("rtlink",
+	// "radio", "backbone", ...). Tracks materialize in first-appearance
+	// order, which is deterministic because span creation is.
+	Track   string
+	Start   time.Duration
+	End     time.Duration
+	Args    []Arg
+	Instant bool
+	open    bool
+}
+
+// Duration returns the span length (zero for instants and open spans).
+func (s Span) Duration() time.Duration {
+	if s.open || s.End < s.Start {
+		return 0
+	}
+	return s.End - s.Start
+}
+
+// DefaultMaxSpans caps a tracer's buffer; past it new spans are counted
+// as dropped instead of recorded, so a runaway run cannot eat the host.
+const DefaultMaxSpans = 200_000
+
+// Tracer accumulates spans for one run. It is not safe for concurrent
+// use — by design it lives on a single-threaded simulation engine.
+type Tracer struct {
+	seed    uint64
+	n       uint64
+	max     int
+	dropped int
+	spans   []Span
+	// index maps still-open span IDs to their slot for Close.
+	index map[ID]int
+	// stack is the current enter/exit nesting; the top is the parent of
+	// every new span.
+	stack []ID
+	// dispatch gates per-event engine dispatch spans (high volume).
+	dispatch bool
+}
+
+// New returns a tracer whose span IDs derive from seed.
+func New(seed uint64) *Tracer {
+	return &Tracer{seed: seed, max: DefaultMaxSpans, index: make(map[ID]int)}
+}
+
+// Seed returns the ID-derivation seed.
+func (t *Tracer) Seed() uint64 { return t.seed }
+
+// SetMaxSpans overrides the span cap (values <= 0 keep the default).
+func (t *Tracer) SetMaxSpans(n int) {
+	if n > 0 {
+		t.max = n
+	}
+}
+
+// SetDispatch toggles per-event engine dispatch spans. They give the
+// Perfetto timeline its scheduling backbone but multiply span volume,
+// so they default off.
+func (t *Tracer) SetDispatch(on bool) { t.dispatch = on }
+
+// Dispatch reports whether engine dispatch spans are recorded.
+func (t *Tracer) Dispatch() bool { return t.dispatch }
+
+// Len returns the number of recorded spans.
+func (t *Tracer) Len() int { return len(t.spans) }
+
+// Dropped returns how many spans the cap rejected.
+func (t *Tracer) Dropped() int { return t.dropped }
+
+// splitmix64 finalizer: a full-avalanche mix so sequential counters
+// yield well-spread, seed-dependent IDs.
+func mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+func (t *Tracer) nextID() ID {
+	t.n++
+	id := ID(mix64(t.seed + t.n))
+	if id == 0 {
+		id = 1 // keep the zero ID reserved for "no span"
+	}
+	return id
+}
+
+// parent returns the current enclosing span.
+func (t *Tracer) parent() ID {
+	if len(t.stack) == 0 {
+		return 0
+	}
+	return t.stack[len(t.stack)-1]
+}
+
+// record appends a span, honoring the cap. Returns the assigned ID, or
+// zero when the span was dropped.
+func (t *Tracer) record(s Span) ID {
+	if t == nil {
+		return 0
+	}
+	if len(t.spans) >= t.max {
+		t.dropped++
+		return 0
+	}
+	s.ID = t.nextID()
+	s.Parent = t.parent()
+	t.spans = append(t.spans, s)
+	if s.open {
+		t.index[s.ID] = len(t.spans) - 1
+	}
+	return s.ID
+}
+
+// Complete records a fully-formed span with known endpoints.
+func (t *Tracer) Complete(name, cat, track string, start, end time.Duration, args ...Arg) ID {
+	if t == nil {
+		return 0
+	}
+	if end < start {
+		end = start
+	}
+	return t.record(Span{Name: name, Cat: cat, Track: track, Start: start, End: end, Args: args})
+}
+
+// Instant records a zero-duration marker (a Perfetto instant event).
+func (t *Tracer) Instant(name, cat, track string, at time.Duration, args ...Arg) ID {
+	if t == nil {
+		return 0
+	}
+	return t.record(Span{Name: name, Cat: cat, Track: track, Start: at, End: at, Args: args, Instant: true})
+}
+
+// Open starts a span whose end is not yet known (a cross-event interval:
+// an in-flight backbone transfer, a pending handshake). Close it with
+// Close; a never-closed span exports with zero duration and open=true.
+func (t *Tracer) Open(name, cat, track string, start time.Duration, args ...Arg) ID {
+	if t == nil {
+		return 0
+	}
+	return t.record(Span{Name: name, Cat: cat, Track: track, Start: start, End: start, Args: args, open: true})
+}
+
+// Close ends a previously opened span, appending any extra args.
+// Closing the zero ID (a dropped Open) or an already-closed span is a
+// no-op.
+func (t *Tracer) Close(id ID, end time.Duration, args ...Arg) {
+	if t == nil || id == 0 {
+		return
+	}
+	i, ok := t.index[id]
+	if !ok {
+		return
+	}
+	delete(t.index, id)
+	s := &t.spans[i]
+	s.open = false
+	if end > s.Start {
+		s.End = end
+	}
+	s.Args = append(s.Args, args...)
+}
+
+// Enter opens a span and makes it the parent of everything recorded
+// until the matching Exit. The engine wraps every event dispatch in an
+// Enter/Exit pair (when dispatch spans are on) so causality follows the
+// scheduler.
+func (t *Tracer) Enter(name, cat, track string, start time.Duration, args ...Arg) ID {
+	if t == nil {
+		return 0
+	}
+	id := t.Open(name, cat, track, start, args...)
+	t.stack = append(t.stack, id)
+	return id
+}
+
+// Exit closes an Enter span and pops the parent stack.
+func (t *Tracer) Exit(id ID, end time.Duration) {
+	if t == nil {
+		return
+	}
+	if len(t.stack) > 0 {
+		t.stack = t.stack[:len(t.stack)-1]
+	}
+	t.Close(id, end)
+}
+
+// Spans returns the recorded spans in creation order (shared backing
+// array; callers must not mutate).
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	return t.spans
+}
+
+// DurationsMS returns the durations (in milliseconds) of every closed,
+// non-instant span with the given name, in creation order — the input
+// for derived latency histograms.
+func (t *Tracer) DurationsMS(name string) []float64 {
+	if t == nil {
+		return nil
+	}
+	var out []float64
+	for i := range t.spans {
+		s := &t.spans[i]
+		if s.Name != name || s.Instant || s.open {
+			continue
+		}
+		out = append(out, float64(s.End-s.Start)/float64(time.Millisecond))
+	}
+	return out
+}
+
+// Names returns the sorted set of distinct closed span names.
+func (t *Tracer) Names() []string {
+	if t == nil {
+		return nil
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for i := range t.spans {
+		s := &t.spans[i]
+		if s.Instant || s.open || seen[s.Name] {
+			continue
+		}
+		seen[s.Name] = true
+		out = append(out, s.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// traceEvent is one Chrome trace-event record. encoding/json marshals
+// map keys sorted, so args serialize deterministically.
+type traceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`
+	Dur  *float64          `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// us converts virtual-time nanoseconds to trace-event microseconds.
+func us(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+func hexID(id ID) string {
+	const digits = "0123456789abcdef"
+	var buf [18]byte
+	buf[0], buf[1] = '0', 'x'
+	for i := 0; i < 16; i++ {
+		buf[2+i] = digits[(uint64(id)>>uint(60-4*i))&0xF]
+	}
+	return string(buf[:])
+}
+
+// WriteJSON exports the trace as Chrome trace-event JSON. The output is
+// byte-identical for identical span sequences: events emit in creation
+// order, tracks take thread IDs in first-appearance order, and args
+// marshal with sorted keys.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	tracks := make(map[string]int)
+	var trackOrder []string
+	tidFor := func(track string) int {
+		if track == "" {
+			track = "main"
+		}
+		tid, ok := tracks[track]
+		if !ok {
+			tid = len(tracks) + 1
+			tracks[track] = tid
+			trackOrder = append(trackOrder, track)
+		}
+		return tid
+	}
+	events := make([]traceEvent, 0, len(t.spans)+len(t.spans)/8+2)
+	for i := range t.spans {
+		s := &t.spans[i]
+		ev := traceEvent{
+			Name: s.Name,
+			Cat:  s.Cat,
+			TS:   us(s.Start),
+			Pid:  1,
+			Tid:  tidFor(s.Track),
+		}
+		args := make(map[string]string, len(s.Args)+2)
+		args["id"] = hexID(s.ID)
+		if s.Parent != 0 {
+			args["parent"] = hexID(s.Parent)
+		}
+		for _, a := range s.Args {
+			args[a.Key] = a.Val
+		}
+		if s.Instant {
+			ev.Ph, ev.S = "i", "t"
+		} else {
+			ev.Ph = "X"
+			d := us(s.Duration())
+			ev.Dur = &d
+			if s.open {
+				args["open"] = "true"
+			}
+		}
+		ev.Args = args
+		events = append(events, ev)
+	}
+	// Metadata names the process and threads; emitted after the spans
+	// are walked (track assignment) but placed first in the file.
+	meta := make([]traceEvent, 0, len(trackOrder)+1)
+	meta = append(meta, traceEvent{
+		Name: "process_name", Ph: "M", Pid: 1,
+		Args: map[string]string{"name": "evm-virtual-time"},
+	})
+	for _, track := range trackOrder {
+		meta = append(meta, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tracks[track],
+			Args: map[string]string{"name": track},
+		})
+	}
+	out := traceFile{TraceEvents: append(meta, events...), DisplayTimeUnit: "ms"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

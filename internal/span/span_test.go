@@ -1,0 +1,126 @@
+package span
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+// record a small representative trace: nesting, open/close, instants.
+func sampleTrace(seed uint64) *Tracer {
+	t := New(seed)
+	d := t.Enter("dispatch", "sim", "engine", ms(0))
+	t.Complete("slot", "rtlink", "rtlink", ms(0), ms(5), Arg{"slot", "3"}, Arg{"owner", "2"})
+	t.Instant("drop", "radio", "radio", ms(2), Arg{"reason", "loss"})
+	t.Exit(d, ms(5))
+	h := t.Open("handshake", "federation", "federation", ms(10), Arg{"task", "w-loop"})
+	t.Complete("prepare", "federation", "federation", ms(10), ms(30))
+	t.Close(h, ms(42), Arg{"outcome", "commit"})
+	t.Open("transfer", "backbone", "backbone", ms(50)) // never closed
+	return t
+}
+
+func TestIDsAreSeededAndStable(t *testing.T) {
+	a, b := sampleTrace(7), sampleTrace(7)
+	for i := range a.Spans() {
+		if a.Spans()[i].ID != b.Spans()[i].ID {
+			t.Fatalf("span %d: id %x != %x for the same seed", i, a.Spans()[i].ID, b.Spans()[i].ID)
+		}
+	}
+	c := sampleTrace(8)
+	if a.Spans()[0].ID == c.Spans()[0].ID {
+		t.Fatalf("different seeds produced the same first span ID %x", a.Spans()[0].ID)
+	}
+}
+
+func TestParentLinks(t *testing.T) {
+	tr := sampleTrace(1)
+	spans := tr.Spans()
+	dispatch := spans[0]
+	if dispatch.Parent != 0 {
+		t.Fatalf("root span has parent %x", dispatch.Parent)
+	}
+	for _, i := range []int{1, 2} { // slot + drop recorded inside the dispatch scope
+		if spans[i].Parent != dispatch.ID {
+			t.Fatalf("span %q parent %x, want dispatch %x", spans[i].Name, spans[i].Parent, dispatch.ID)
+		}
+	}
+	if spans[4].Parent != 0 {
+		t.Fatalf("post-Exit span %q still parented to %x", spans[4].Name, spans[4].Parent)
+	}
+}
+
+func TestExportByteIdentical(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := sampleTrace(42).WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := sampleTrace(42).WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("same-seed exports differ:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	for _, want := range []string{`"traceEvents"`, `"ph":"X"`, `"ph":"i"`, `"ph":"M"`, `"open":"true"`, `"thread_name"`} {
+		if !strings.Contains(a.String(), want) {
+			t.Fatalf("export missing %s:\n%s", want, a.String())
+		}
+	}
+}
+
+func TestDurationsAndNames(t *testing.T) {
+	tr := sampleTrace(1)
+	hs := tr.DurationsMS("handshake")
+	if len(hs) != 1 || hs[0] != 32 {
+		t.Fatalf("handshake durations = %v, want [32]", hs)
+	}
+	names := tr.Names()
+	want := []string{"dispatch", "handshake", "prepare", "slot"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
+	}
+	if got := tr.DurationsMS("transfer"); got != nil {
+		t.Fatalf("open span reported durations %v", got)
+	}
+}
+
+func TestCapDropsAndZeroIDIsSafe(t *testing.T) {
+	tr := New(1)
+	tr.SetMaxSpans(2)
+	tr.Complete("a", "", "", 0, ms(1))
+	id := tr.Open("b", "", "", 0)
+	dropped := tr.Open("c", "", "", 0)
+	if dropped != 0 {
+		t.Fatalf("span past the cap got ID %x", dropped)
+	}
+	if tr.Dropped() != 1 || tr.Len() != 2 {
+		t.Fatalf("len=%d dropped=%d, want 2/1", tr.Len(), tr.Dropped())
+	}
+	tr.Close(dropped, ms(5)) // no-op
+	tr.Close(id, ms(5))
+	tr.Close(id, ms(9)) // double close is a no-op
+	if got := tr.Spans()[1].End; got != ms(5) {
+		t.Fatalf("double close moved end to %v", got)
+	}
+}
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	if id := tr.Complete("x", "", "", 0, ms(1)); id != 0 {
+		t.Fatalf("nil tracer returned id %x", id)
+	}
+	tr.Close(tr.Enter("x", "", "", 0), ms(1))
+	tr.Exit(0, ms(1))
+	tr.Instant("x", "", "", 0)
+	if tr.Spans() != nil || tr.Names() != nil || tr.DurationsMS("x") != nil {
+		t.Fatal("nil tracer leaked state")
+	}
+}

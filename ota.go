@@ -3,11 +3,13 @@ package evm
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"evm/internal/sim"
+	"evm/internal/span"
 	"evm/internal/vm"
 	"evm/internal/wire"
 )
@@ -354,6 +356,14 @@ type Rollout struct {
 	checkers    []InvariantChecker
 	lastAct     map[string]time.Duration
 	healthStart time.Duration
+
+	// spanID/stageSpan/healthSpan are the open trace spans for the whole
+	// rollout, the current stage (prepare through activation) and the
+	// current health window; zero when tracing is off. finish closes any
+	// still open with the terminal state, so aborts never leak open spans.
+	spanID     span.ID
+	stageSpan  span.ID
+	healthSpan span.ID
 }
 
 type rolloutActivation struct {
@@ -481,6 +491,10 @@ func (c *Campus) StartRollout(spec RolloutSpec) (*Rollout, error) {
 		At: c.eng.Now(), Tasks: tasks, Version: spec.Version, Strategy: policy.Name(),
 		Phase: RolloutPhaseStart, Stage: -1, Cells: r.cellNames(r.cellIdxs),
 	})
+	r.spanID = c.eng.Tracer().Open("rollout", "ota", "ota", c.eng.Now(),
+		span.Arg{Key: "tasks", Val: strings.Join(tasks, "+")},
+		span.Arg{Key: "version", Val: strconv.Itoa(int(spec.Version))},
+		span.Arg{Key: "strategy", Val: policy.Name()})
 	r.runStage()
 	return r, nil
 }
@@ -584,6 +598,9 @@ func (r *Rollout) runStage() {
 		}
 	}
 	batch := r.stages[r.stageIdx]
+	r.stageSpan = r.c.eng.Tracer().Open("rollout-stage", "ota", "ota", r.c.eng.Now(),
+		span.Arg{Key: "stage", Val: strconv.Itoa(r.stageIdx)},
+		span.Arg{Key: "cells", Val: strings.Join(r.cellNames(batch), "+")})
 	r.pendingPrepare = make(map[string]bool)
 	r.pendingCommit = make(map[string]bool)
 	for _, cell := range batch {
@@ -768,6 +785,7 @@ func (r *Rollout) commitStage() {
 		// migrated away): nothing to activate here — the catch-up rescan
 		// finds wherever the replicas went.
 		r.c.eng.Cancel(r.stageTimer)
+		r.c.eng.Tracer().Close(r.stageSpan, r.c.eng.Now(), span.Arg{Key: "outcome", Val: "no-holders"})
 		r.stageIdx++
 		r.runStage()
 		return
@@ -826,6 +844,7 @@ func (r *Rollout) onCommit(cell int, payload []byte) {
 	delete(r.pendingCommit, pendKey(cell, msg.TaskID))
 	if len(r.pendingCommit) == 0 {
 		r.c.eng.Cancel(r.stageTimer)
+		r.c.eng.Tracer().Close(r.stageSpan, r.c.eng.Now(), span.Arg{Key: "outcome", Val: "activated"})
 		r.c.bus().publish(RolloutEvent{
 			At: r.c.eng.Now(), Tasks: r.spec.Tasks, Version: r.spec.Version,
 			Strategy: r.policy.Name(), Phase: RolloutPhaseActivated,
@@ -849,6 +868,8 @@ func (r *Rollout) startHealthWindow() {
 		}
 	}
 	r.healthStart = r.c.eng.Now()
+	r.healthSpan = r.c.eng.Tracer().Open("health-window", "ota", "ota", r.c.eng.Now(),
+		span.Arg{Key: "stage", Val: strconv.Itoa(r.stageIdx)})
 	r.lastAct = make(map[string]time.Duration)
 	watched := make(map[string]bool, len(r.spec.Tasks))
 	for _, task := range r.spec.Tasks {
@@ -875,6 +896,7 @@ func (r *Rollout) evaluateHealth() {
 	now := r.c.eng.Now()
 	for _, ch := range r.checkers {
 		if vs := ch.Violations(); len(vs) > 0 {
+			r.c.eng.Tracer().Close(r.healthSpan, now, span.Arg{Key: "outcome", Val: "violation"})
 			r.rollback(fmt.Sprintf("invariant:%s", vs[0].Checker))
 			return
 		}
@@ -885,10 +907,12 @@ func (r *Rollout) evaluateHealth() {
 			ref = at
 		}
 		if now-ref > r.spec.ActuationBound {
+			r.c.eng.Tracer().Close(r.healthSpan, now, span.Arg{Key: "outcome", Val: "missed-actuation"})
 			r.rollback("missed-actuation:" + task)
 			return
 		}
 	}
+	r.c.eng.Tracer().Close(r.healthSpan, now, span.Arg{Key: "outcome", Val: "ok"})
 	r.stageIdx++
 	r.runStage()
 }
@@ -947,6 +971,18 @@ func (r *Rollout) rollback(reason string) {
 func (r *Rollout) finish(state RolloutState, reason string) {
 	r.state = state
 	r.reason = reason
+	// Close whatever spans are still open (stage/health spans already
+	// closed with a specific outcome are untouched — Close is a no-op on
+	// closed spans), then the rollout span with the terminal state.
+	now := r.c.eng.Now()
+	tr := r.c.eng.Tracer()
+	tr.Close(r.healthSpan, now, span.Arg{Key: "outcome", Val: string(state)})
+	tr.Close(r.stageSpan, now, span.Arg{Key: "outcome", Val: string(state)})
+	args := []span.Arg{{Key: "outcome", Val: string(state)}}
+	if reason != "" {
+		args = append(args, span.Arg{Key: "reason", Val: reason})
+	}
+	tr.Close(r.spanID, now, args...)
 	if r.stageTimer != nil {
 		r.c.eng.Cancel(r.stageTimer)
 	}

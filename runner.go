@@ -1,6 +1,7 @@
 package evm
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -10,6 +11,8 @@ import (
 	"time"
 
 	"evm/internal/sim"
+	"evm/internal/span"
+	"evm/internal/trace"
 )
 
 // RunResult is one completed grid point: the spec, the scenario's metrics
@@ -26,6 +29,17 @@ type RunResult struct {
 	// (Runner.Checkers) observed on the live event stream; nil when no
 	// checkers were configured or all invariants held.
 	Violations []Violation
+	// TraceJSON is the run's Chrome-trace-event export (Runner.Trace),
+	// loadable in Perfetto / chrome://tracing. Byte-identical across
+	// same-seed runs.
+	TraceJSON []byte
+	// HostWallMS and HostAllocBytes are host-side accounting
+	// (Runner.HostStats): wall-clock execution time and the process's
+	// TotalAlloc delta over the run. They live outside Metrics because
+	// they are nondeterministic, and the alloc delta is process-wide —
+	// exact only with Workers=1; concurrent runs bleed into each other.
+	HostWallMS     float64
+	HostAllocBytes uint64
 }
 
 // Metric keys the Runner derives from the event bus on top of whatever
@@ -116,6 +130,17 @@ type Runner struct {
 	// per run. They observe the live event stream (no stored log needed)
 	// and their findings land in RunResult.Violations.
 	Checkers func() []InvariantChecker
+	// Trace enables per-run causal tracing: each run gets a span tracer
+	// seeded from its spec seed, the span-derived latency summaries
+	// (span_<name>_p50_ms, ...) merge into RunResult.Metrics, and the
+	// Chrome-trace JSON export lands in RunResult.TraceJSON.
+	Trace bool
+	// TraceDir, when non-empty, implies Trace and additionally writes
+	// each run's export to <TraceDir>/<sanitized spec label>.trace.json.
+	TraceDir string
+	// HostStats enables wall-time and allocation accounting per run,
+	// reported in RunResult.HostWallMS / HostAllocBytes.
+	HostStats bool
 }
 
 // Run executes every spec and returns results in spec order. Individual
@@ -159,10 +184,30 @@ func (r *Runner) Run(specs []RunSpec) []RunResult {
 // batch grid workflow keeps using Run.
 func (r *Runner) RunOne(spec RunSpec) RunResult { return r.runOne(spec) }
 
-// runOne executes a single grid point: build, instrument, fault, run,
+// runOne wraps runSpec with optional host-side accounting. The wall-time
+// and alloc readings never enter Metrics: serial and parallel execution
+// must produce identical metric maps, and these depend on the host.
+func (r *Runner) runOne(spec RunSpec) RunResult {
+	if !r.HostStats {
+		return r.runSpec(spec)
+	}
+	//evm:allow-wallclock host-side accounting of real execution cost; results stay out of the deterministic metric map
+	start := time.Now()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	allocStart := ms.TotalAlloc
+	res := r.runSpec(spec)
+	runtime.ReadMemStats(&ms)
+	//evm:allow-wallclock host-side accounting of real execution cost; results stay out of the deterministic metric map
+	res.HostWallMS = float64(time.Since(start)) / float64(time.Millisecond)
+	res.HostAllocBytes = ms.TotalAlloc - allocStart
+	return res
+}
+
+// runSpec executes a single grid point: build, instrument, fault, run,
 // measure, clean up. Campus experiments are driven through the campus
 // facade (merged event stream, cell-targeted fault plan, shared engine).
-func (r *Runner) runOne(spec RunSpec) RunResult {
+func (r *Runner) runSpec(spec RunSpec) RunResult {
 	res := RunResult{Spec: spec}
 	var exp *Experiment
 	var err error
@@ -179,6 +224,14 @@ func (r *Runner) runOne(spec RunSpec) RunResult {
 		defer exp.Cleanup()
 	}
 	res.Policy = exp.Policy
+	var tracer *span.Tracer
+	if r.Trace || r.TraceDir != "" {
+		if exp.Campus != nil {
+			tracer = exp.Campus.EnableTracing(spec.Seed)
+		} else {
+			tracer = exp.Cell.EnableTracing(spec.Seed)
+		}
+	}
 	var finish func(map[string]float64)
 	if r.Instrument != nil {
 		finish = r.Instrument(spec, exp)
@@ -327,6 +380,23 @@ func (r *Runner) runOne(spec RunSpec) RunResult {
 		res.Metrics[MetricQoSCoverage] = rep.CoverageRatio
 		res.Metrics[MetricQoSRedundancy] = rep.RedundancyMean
 	}
+	if tracer != nil {
+		mergeSorted(res.Metrics, TraceMetrics(tracer))
+		var buf bytes.Buffer
+		if err := tracer.WriteJSON(&buf); err != nil {
+			if res.Err == nil {
+				res.Err = err
+			}
+		} else {
+			res.TraceJSON = buf.Bytes()
+			if r.TraceDir != "" {
+				name := sanitizeLabel(spec.Label()) + ".trace.json"
+				if err := os.WriteFile(filepath.Join(r.TraceDir, name), res.TraceJSON, 0o644); err != nil && res.Err == nil {
+					res.Err = err
+				}
+			}
+		}
+	}
 	if log != nil {
 		if err := writeEventCSV(r.EventDir, spec, log); err != nil && res.Err == nil {
 			res.Err = err
@@ -338,10 +408,15 @@ func (r *Runner) runOne(spec RunSpec) RunResult {
 	return res
 }
 
+// sanitizeLabel makes a spec label safe as a file name.
+func sanitizeLabel(label string) string {
+	return strings.NewReplacer("/", "_", " ", "_", "@", "_").Replace(label)
+}
+
 // writeEventCSV renders one run's event log through a trace.Recorder and
 // writes it as <dir>/<sanitized spec label>.csv.
 func writeEventCSV(dir string, spec RunSpec, log *EventLog) error {
-	name := strings.NewReplacer("/", "_", " ", "_", "@", "_").Replace(spec.Label()) + ".csv"
+	name := sanitizeLabel(spec.Label()) + ".csv"
 	f, err := os.Create(filepath.Join(dir, name))
 	if err != nil {
 		return err
@@ -373,62 +448,54 @@ func SpecGrid(scenarios []string, seeds []uint64, plans []FaultPlan, horizon tim
 }
 
 // MetricSummary aggregates one metric across the runs that reported it.
+// P50/P95/P99 are nearest-rank percentiles over the per-run values, so a
+// sweep's tail behavior (one slow failover among fifty runs) is visible
+// next to the mean.
 type MetricSummary struct {
 	N    int
 	Mean float64
 	Min  float64
 	Max  float64
+	P50  float64
+	P95  float64
+	P99  float64
 }
 
 func (m MetricSummary) String() string {
-	return fmt.Sprintf("n=%d mean=%.3f min=%.3f max=%.3f", m.N, m.Mean, m.Min, m.Max)
+	return fmt.Sprintf("n=%d mean=%.3f min=%.3f max=%.3f p50=%.3f p95=%.3f p99=%.3f",
+		m.N, m.Mean, m.Min, m.Max, m.P50, m.P95, m.P99)
 }
 
 // Aggregate groups successful results by scenario and summarizes every
 // metric. The outer key is the scenario name, the inner key the metric.
 func Aggregate(results []RunResult) map[string]map[string]MetricSummary {
-	type acc struct {
-		n        int
-		sum      float64
-		min, max float64
-	}
-	accs := make(map[string]map[string]*acc)
+	// Collect per-metric value lists in result order; all arithmetic
+	// (including the mean's float sum) happens in trace.Summarize over
+	// the sorted copy, so equal result sets aggregate byte-identically.
+	vals := make(map[string]map[string][]float64)
 	for _, r := range results {
 		if r.Err != nil || r.Metrics == nil {
 			continue
 		}
-		byMetric := accs[r.Spec.Scenario]
+		byMetric := vals[r.Spec.Scenario]
 		if byMetric == nil {
-			byMetric = make(map[string]*acc)
-			accs[r.Spec.Scenario] = byMetric
+			byMetric = make(map[string][]float64)
+			vals[r.Spec.Scenario] = byMetric
 		}
-		// Sorted metric order: float sums are order-dependent (addition
-		// is not associative), so a fixed accumulation order keeps equal
-		// result sets aggregating to byte-identical summaries.
 		for _, k := range sim.SortedKeys(r.Metrics) {
-			v := r.Metrics[k]
-			a := byMetric[k]
-			if a == nil {
-				byMetric[k] = &acc{n: 1, sum: v, min: v, max: v}
-				continue
-			}
-			a.n++
-			a.sum += v
-			if v < a.min {
-				a.min = v
-			}
-			if v > a.max {
-				a.max = v
-			}
+			byMetric[k] = append(byMetric[k], r.Metrics[k])
 		}
 	}
-	out := make(map[string]map[string]MetricSummary, len(accs))
-	for _, sc := range sim.SortedKeys(accs) {
-		byMetric := accs[sc]
+	out := make(map[string]map[string]MetricSummary, len(vals))
+	for _, sc := range sim.SortedKeys(vals) {
+		byMetric := vals[sc]
 		out[sc] = make(map[string]MetricSummary, len(byMetric))
 		for _, k := range sim.SortedKeys(byMetric) {
-			a := byMetric[k]
-			out[sc][k] = MetricSummary{N: a.n, Mean: a.sum / float64(a.n), Min: a.min, Max: a.max}
+			st := trace.Summarize(byMetric[k])
+			out[sc][k] = MetricSummary{
+				N: st.N, Mean: st.Mean, Min: st.Min, Max: st.Max,
+				P50: st.P50, P95: st.P95, P99: st.P99,
+			}
 		}
 	}
 	return out
